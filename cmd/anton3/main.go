@@ -1,0 +1,90 @@
+// Command anton3 regenerates the paper's tables and figures from the
+// simulator. Each subcommand prints measured values next to the published
+// ones.
+//
+// Usage:
+//
+//	anton3 <tables|fig5|fig6|fig9a|fig9b|fig11|fig12|ablations|all> [flags]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anton3/internal/experiments"
+	"anton3/internal/topo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	pairs := fs.Int("pairs", 6, "sampled GC pairs per hop count (fig5)")
+	atoms := fs.Int("atoms", 32751, "atom count (fig12)")
+	steps := fs.Int("steps", 3, "timestep count (fig9b, fig12)")
+	warm := fs.Int("warm", 3, "warmup steps (fig9a)")
+	measure := fs.Int("measure", 4, "measured steps (fig9a)")
+	fs.Parse(os.Args[2:])
+
+	fig9aSizes := []int{8000, 16000, 32751, 65000, 131000}
+	fig9bSizes := []int{8000, 16000, 32751, 65000}
+
+	var run func(name string)
+	run = func(name string) {
+		switch name {
+		case "tables":
+			fmt.Println(experiments.Tables())
+		case "fig5":
+			fmt.Println(experiments.Fig5(*pairs).Render())
+		case "fig6":
+			fmt.Println(experiments.Fig6().Render())
+		case "fig9a":
+			fmt.Println(experiments.RenderFig9a(experiments.Fig9a(fig9aSizes, *warm, *measure)))
+		case "fig9b":
+			fmt.Println(experiments.RenderFig9b(experiments.Fig9b(fig9bSizes, *steps)))
+		case "fig11":
+			fmt.Println(experiments.Fig11().Render())
+		case "fig12":
+			fmt.Println(experiments.Fig12(*atoms, *steps).Render())
+		case "ablations":
+			fmt.Println(experiments.RenderAblation("Ablation: pcache predictor order (8k atoms)",
+				experiments.AblationPredictorOrder(8000, 3, 3)))
+			fmt.Println(experiments.RenderAblation("Ablation: pcache size sweep (32751 atoms)",
+				experiments.AblationPcacheSize(32751, 2, 2, []int{256, 512, 1024, 2048, 4096})))
+			fmt.Println(experiments.RenderAblation("Ablation: INZ interleave vs truncation (8k atoms)",
+				experiments.AblationINZInterleave(8000)))
+			fmt.Println(experiments.RenderAblation("Ablation: fence vs pairwise barrier (128 nodes)",
+				experiments.AblationFenceVsPairwise(topo.Shape{X: 4, Y: 4, Z: 8})))
+			fmt.Println(experiments.RenderAblation("Ablation: randomized vs fixed dimension orders",
+				experiments.AblationDimOrders(60)))
+		case "all":
+			for _, n := range []string{"tables", "fig5", "fig6", "fig9a", "fig9b", "fig11", "fig12", "ablations"} {
+				run(n)
+			}
+		default:
+			usage()
+			os.Exit(2)
+		}
+	}
+	run(cmd)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `anton3 — regenerate the tables and figures of
+"The Specialized High-Performance Network on Anton 3" (HPCA 2022)
+
+subcommands:
+  tables     Tables I, II, III (ASIC comparison, component area, feature cost)
+  fig5       end-to-end latency vs hops (128-node ping-pong)
+  fig6       breakdown of the 55 ns minimum latency
+  fig9a      traffic reduction from INZ and the particle cache
+  fig9b      MD speedup from compression
+  fig11      network fence barrier latency vs hops
+  fig12      machine activity plots (compression off/on)
+  ablations  design-choice ablations from DESIGN.md
+  all        everything above`)
+}

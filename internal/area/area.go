@@ -1,0 +1,153 @@
+// Package area reproduces the paper's bookkeeping tables: the three-ASIC
+// feature comparison (Table I), the network components' share of die area
+// (Table II), and the implementation cost of the particle cache and network
+// fence (Table III). Component counts come from the floorplan configuration
+// so the tables stay consistent with any config change; per-instance areas
+// are calibrated to the published percentages of the 451 mm^2 die.
+package area
+
+import (
+	"fmt"
+	"strings"
+
+	"anton3/internal/topo"
+)
+
+// ASIC describes one generation of Anton ASIC (Table I).
+type ASIC struct {
+	Name               string
+	PowerOnYear        int
+	ProcessNm          int
+	DieMM2             float64
+	ClockGHz           float64
+	PairwiseGOPS       int
+	SerdesLanes        int
+	SerdesGbpsPerLane  float64
+	InterNodeBidirGBps int
+}
+
+// TableI returns the three Anton generations.
+func TableI() []ASIC {
+	return []ASIC{
+		{"Anton 1", 2008, 90, 305, 0.970, 31, 66, 4.6, 76},
+		{"Anton 2", 2013, 40, 408, 1.65, 251, 96, 14, 336},
+		{"Anton 3", 2020, 7, 451, 2.80, 5914, 96, 29, 696},
+	}
+}
+
+// Anton3DieMM2 is the Anton 3 die size.
+const Anton3DieMM2 = 451.0
+
+// Per-instance component areas in mm^2, calibrated so the component totals
+// match Table II on the production floorplan.
+const (
+	CoreRouterMM2     = Anton3DieMM2 * 0.094 / 288
+	EdgeRouterMM2     = Anton3DieMM2 * 0.014 / 72
+	ChannelAdapterMM2 = Anton3DieMM2 * 0.028 / 24
+	RowAdapterMM2     = Anton3DieMM2 * 0.005 / 72
+)
+
+// Feature costs (Table III): the particle cache is mostly the cache SRAM in
+// each Channel Adapter; the fence is the counter arrays in every router.
+const (
+	PcachePerCAMM2    = Anton3DieMM2 * 0.016 / 24
+	FencePerRouterMM2 = Anton3DieMM2 * 0.002 / (288 + 72)
+)
+
+// Component is one row of Table II.
+type Component struct {
+	Name    string
+	Count   int
+	EachMM2 float64
+}
+
+// TotalMM2 returns Count * EachMM2.
+func (c Component) TotalMM2() float64 { return float64(c.Count) * c.EachMM2 }
+
+// PercentOfDie returns the component's share of the die.
+func (c Component) PercentOfDie() float64 { return 100 * c.TotalMM2() / Anton3DieMM2 }
+
+// Counts derives the network component counts from a chip shape: one Core
+// Router per Core Tile, three Edge Routers per Edge Tile (both sides), one
+// Channel Adapter per channel slice end, one Row Adapter per edge-tile row
+// crossing plus ICB attachments.
+type Counts struct {
+	CoreRouters     int
+	EdgeRouters     int
+	ChannelAdapters int
+	RowAdapters     int
+}
+
+// ProductionCounts are the counts implied by the 24x12 floorplan, matching
+// Table II: 288 / 72 / 24 / 72.
+func ProductionCounts() Counts {
+	tiles := topo.DefaultChipShape.Tiles()
+	edgeTiles := 2 * topo.EdgeTileRows
+	return Counts{
+		CoreRouters:     tiles,
+		EdgeRouters:     edgeTiles * topo.ERTRsPerEdge,
+		ChannelAdapters: edgeTiles,                          // one CA per edge tile (one channel slice each)
+		RowAdapters:     edgeTiles * (1 + topo.ICBsPerEdge), // row crossing + one per ICB
+	}
+}
+
+// TableII returns the network component area rows for the given counts.
+func TableII(c Counts) []Component {
+	return []Component{
+		{"Core Routers", c.CoreRouters, CoreRouterMM2},
+		{"Edge Routers", c.EdgeRouters, EdgeRouterMM2},
+		{"Channel Adapters", c.ChannelAdapters, ChannelAdapterMM2},
+		{"Row Adapters", c.RowAdapters, RowAdapterMM2},
+	}
+}
+
+// TableIII returns the network feature cost rows.
+func TableIII(c Counts) []Component {
+	return []Component{
+		{"Particle Cache", c.ChannelAdapters, PcachePerCAMM2},
+		{"Network Fence", c.CoreRouters + c.EdgeRouters, FencePerRouterMM2},
+	}
+}
+
+// TotalPercent sums the die share of a component list.
+func TotalPercent(rows []Component) float64 {
+	var t float64
+	for _, r := range rows {
+		t += r.PercentOfDie()
+	}
+	return t
+}
+
+// FormatTableI renders Table I as aligned text.
+func FormatTableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s\n", "", "Anton 1", "Anton 2", "Anton 3")
+	rows := TableI()
+	line := func(label, format string, get func(a ASIC) interface{}) {
+		fmt.Fprintf(&b, "%-28s", label)
+		for _, a := range rows {
+			fmt.Fprintf(&b, " %10s", fmt.Sprintf(format, get(a)))
+		}
+		b.WriteByte('\n')
+	}
+	line("Power-on Year", "%d", func(a ASIC) interface{} { return a.PowerOnYear })
+	line("Process Technology (nm)", "%d", func(a ASIC) interface{} { return a.ProcessNm })
+	line("Die Size (mm2)", "%.0f", func(a ASIC) interface{} { return a.DieMM2 })
+	line("Clock Rate (GHz)", "%.3g", func(a ASIC) interface{} { return a.ClockGHz })
+	line("Max Pairwise GOPS", "%d", func(a ASIC) interface{} { return a.PairwiseGOPS })
+	line("Number of SERDES", "%d", func(a ASIC) interface{} { return a.SerdesLanes })
+	line("SERDES Per-Lane (Gb/s)", "%.3g", func(a ASIC) interface{} { return a.SerdesGbpsPerLane })
+	line("Inter-node Bidir (GB/s)", "%d", func(a ASIC) interface{} { return a.InterNodeBidirGBps })
+	return b.String()
+}
+
+// FormatComponents renders a Table II/III style component list.
+func FormatComponents(title string, rows []Component) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-20s %8s %14s\n", title, "Component", "Count", "% of die")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %8d %13.1f%%\n", r.Name, r.Count, r.PercentOfDie())
+	}
+	fmt.Fprintf(&b, "%-20s %8s %13.1f%%\n", "Total", "", TotalPercent(rows))
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package area
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProductionCounts(t *testing.T) {
+	c := ProductionCounts()
+	// Table II's component counts.
+	if c.CoreRouters != 288 || c.EdgeRouters != 72 || c.ChannelAdapters != 24 || c.RowAdapters != 72 {
+		t.Fatalf("counts = %+v, want 288/72/24/72", c)
+	}
+}
+
+func TestTableIIPercentages(t *testing.T) {
+	rows := TableII(ProductionCounts())
+	want := map[string]float64{
+		"Core Routers":     9.4,
+		"Edge Routers":     1.4,
+		"Channel Adapters": 2.8,
+		"Row Adapters":     0.5,
+	}
+	for _, r := range rows {
+		if w := want[r.Name]; r.PercentOfDie() < w-0.05 || r.PercentOfDie() > w+0.05 {
+			t.Errorf("%s = %.2f%%, want %.1f%%", r.Name, r.PercentOfDie(), w)
+		}
+	}
+	if tot := TotalPercent(rows); tot < 14.05 || tot > 14.15 {
+		t.Fatalf("network total = %.2f%%, want 14.1%%", tot)
+	}
+}
+
+func TestTableIIIPercentages(t *testing.T) {
+	rows := TableIII(ProductionCounts())
+	if p := rows[0].PercentOfDie(); p < 1.55 || p > 1.65 {
+		t.Fatalf("particle cache = %.2f%%, want 1.6%%", p)
+	}
+	if p := rows[1].PercentOfDie(); p < 0.15 || p > 0.25 {
+		t.Fatalf("network fence = %.2f%%, want 0.2%%", p)
+	}
+	if tot := TotalPercent(rows); tot < 1.75 || tot > 1.85 {
+		t.Fatalf("feature total = %.2f%%, want 1.8%%", tot)
+	}
+}
+
+func TestTableIValues(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 3 {
+		t.Fatal("three generations expected")
+	}
+	a3 := rows[2]
+	if a3.PairwiseGOPS != 5914 || a3.ClockGHz != 2.8 || a3.InterNodeBidirGBps != 696 {
+		t.Fatalf("Anton 3 row wrong: %+v", a3)
+	}
+	// The paper's motivating ratios: ~24x compute, ~2.1x bandwidth A2->A3.
+	a2 := rows[1]
+	compute := float64(a3.PairwiseGOPS) / float64(a2.PairwiseGOPS)
+	bw := float64(a3.InterNodeBidirGBps) / float64(a2.InterNodeBidirGBps)
+	if compute < 23 || compute > 25 {
+		t.Fatalf("compute scaling = %.1fx, want ~24x", compute)
+	}
+	if bw < 2.0 || bw > 2.2 {
+		t.Fatalf("bandwidth scaling = %.2fx, want ~2.1x", bw)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if s := FormatTableI(); !strings.Contains(s, "Anton 3") || !strings.Contains(s, "5914") {
+		t.Fatalf("Table I render:\n%s", s)
+	}
+	s := FormatComponents("Table II", TableII(ProductionCounts()))
+	if !strings.Contains(s, "Core Routers") || !strings.Contains(s, "Total") {
+		t.Fatalf("Table II render:\n%s", s)
+	}
+}

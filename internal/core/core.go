@@ -1,0 +1,70 @@
+// Package core is the front door of the Anton 3 network library: it ties
+// the network primitives (INZ, particle cache, network fence, counted
+// write / blocking read) and the machine simulator together behind a small
+// construction API. Examples and tools program against this package;
+// research code that needs the internals imports the specific subsystem
+// packages directly.
+package core
+
+import (
+	"anton3/internal/chip"
+	"anton3/internal/machine"
+	"anton3/internal/md"
+	"anton3/internal/serdes"
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+)
+
+// Re-exported configuration types.
+type (
+	// Machine is a simulated Anton 3 machine.
+	Machine = machine.Machine
+	// Config describes a machine.
+	Config = machine.Config
+	// GC is the Geometry Core endpoint handle.
+	GC = machine.GC
+	// Shape is a torus shape.
+	Shape = topo.Shape
+	// CompressConfig selects INZ / particle cache.
+	CompressConfig = serdes.CompressConfig
+	// System is an MD chemical system.
+	System = md.System
+	// Engine drives the MD timestep pipeline on a machine.
+	Engine = machine.Engine
+)
+
+// Paper machine shapes.
+var (
+	// Shape128 is the 4x4x8 measurement machine of Figures 5 and 11.
+	Shape128 = topo.Shape{X: 4, Y: 4, Z: 8}
+	// Shape8 is the 2x2x2 compression benchmark machine of Figure 9.
+	Shape8 = topo.Shape{X: 2, Y: 2, Z: 2}
+	// Shape512 is the largest Anton 3 machine (8x8x8).
+	Shape512 = topo.Shape{X: 8, Y: 8, Z: 8}
+)
+
+// NewMachine builds a machine with production defaults (2.8 GHz clock,
+// calibrated latencies, compression on) for the given torus shape.
+func NewMachine(shape Shape) *Machine {
+	return machine.New(machine.DefaultConfig(shape))
+}
+
+// NewMachineWith builds a machine with explicit compression settings.
+func NewMachineWith(shape Shape, comp CompressConfig) *Machine {
+	cfg := machine.DefaultConfig(shape)
+	cfg.Compress = comp
+	return machine.New(cfg)
+}
+
+// NewWater builds a thermalized water-like system of n atoms at 300 K.
+func NewWater(n int, seed uint64) *System {
+	return md.NewWater(n, 300, sim.NewRand(seed))
+}
+
+// NewEngine attaches an MD system to a machine's timestep pipeline.
+func NewEngine(m *Machine, sys *System) *Engine {
+	return machine.NewEngine(m, sys, machine.DefaultTimestepConfig())
+}
+
+// DefaultLatencies exposes the calibrated latency set (see DESIGN.md §4).
+func DefaultLatencies() chip.Latencies { return chip.DefaultLatencies() }

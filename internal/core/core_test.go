@@ -1,0 +1,39 @@
+package core
+
+import "testing"
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quickstart, as a test: ping-pong and a barrier.
+	m := NewMachine(Shape8)
+	a := m.GC(Shape8.CoordOf(0), 0)
+	b := m.GC(Shape8.CoordOf(7), 0)
+	pp := m.PingPong(a, b, 8)
+	if pp.OneWay <= 0 {
+		t.Fatal("no latency measured")
+	}
+	bar := m.Barrier(Shape8.Diameter())
+	if bar.Latency <= 0 {
+		t.Fatal("no barrier latency")
+	}
+}
+
+func TestEngineFlow(t *testing.T) {
+	m := NewMachineWith(Shape8, CompressConfig{INZ: true, Pcache: true})
+	sys := NewWater(3000, 9)
+	e := NewEngine(m, sys)
+	if r := e.RunStep(); r.Duration <= 0 {
+		t.Fatal("step did not run")
+	}
+	if err := m.CheckChannelSync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapes(t *testing.T) {
+	if Shape128.Nodes() != 128 || Shape8.Nodes() != 8 || Shape512.Nodes() != 512 {
+		t.Fatal("paper shapes wrong")
+	}
+	if DefaultLatencies().GCSendCycles <= 0 {
+		t.Fatal("latencies not exposed")
+	}
+}

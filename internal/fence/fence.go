@@ -1,0 +1,180 @@
+// Package fence implements the network fence of Section V: an in-network
+// synchronization primitive built from fence packets that routers merge at
+// input ports (a counter per fence reaching a preconfigured expected count
+// releases one multicast copy per output in a preconfigured output mask).
+// Receipt of a fence packet tells the receiver that every packet sent before
+// that fence, by every participating source, has arrived.
+//
+// This package holds the pure pieces: the per-port merge unit, fence
+// patterns, and the adapter flow control that bounds concurrent fences. The
+// machine simulator composes these into the node-level wavefront described
+// in DESIGN.md.
+package fence
+
+import "fmt"
+
+// MaxConcurrent is the number of outstanding network fences the hardware
+// supports (Section V-D). The network adapters implement flow control that
+// limits injection so the Edge Router needs only 96 counters per input port.
+const MaxConcurrent = 14
+
+// Pattern names a pre-defined source/destination component-type pair.
+type Pattern uint8
+
+// Fence patterns used by MD software (Section V-A).
+const (
+	// GCtoGC synchronizes all Geometry Cores; with hops = machine diameter
+	// it is the global barrier (Section V-E).
+	GCtoGC Pattern = iota
+	// GCtoICB tells Interaction Control Blocks that all stream-set
+	// positions sent before the fence have arrived.
+	GCtoICB
+)
+
+func (p Pattern) String() string {
+	if p == GCtoGC {
+		return "GC-to-GC"
+	}
+	return "GC-to-ICB"
+}
+
+// OutputMask is a bitmask of router output ports a merged fence multicasts
+// to; bit j set means output port j receives a copy.
+type OutputMask uint32
+
+// Has reports whether port j is in the mask.
+func (m OutputMask) Has(j int) bool { return m&(1<<uint(j)) != 0 }
+
+// Count returns the number of ports in the mask.
+func (m OutputMask) Count() int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+// portState is one (input port, VC) fence context: counter + configuration.
+type portState struct {
+	expected uint16
+	mask     OutputMask
+	count    uint16
+}
+
+// MergeUnit is the fence logic of one router input port for one VC class:
+// an array of fence counters indexed by fence ID, each with a preconfigured
+// expected count and output mask (Figure 10a). Only fence packets from the
+// same VC can be merged, so routers instantiate one MergeUnit per (input
+// port, VC).
+type MergeUnit struct {
+	name     string
+	counters map[int]*portState
+	limit    int
+}
+
+// NewMergeUnit builds a merge unit with the hardware counter budget. A
+// limit of 0 uses the Edge Router budget of 96 counters.
+func NewMergeUnit(name string, limit int) *MergeUnit {
+	if limit == 0 {
+		limit = 96
+	}
+	return &MergeUnit{name: name, counters: make(map[int]*portState), limit: limit}
+}
+
+// Configure installs the expected count and output mask for fence id.
+// Software preconfigures these per fence pattern (Section V-B).
+func (m *MergeUnit) Configure(id int, expected int, mask OutputMask) {
+	if expected <= 0 {
+		panic("fence: expected count must be positive")
+	}
+	if _, ok := m.counters[id]; !ok && len(m.counters) >= m.limit {
+		panic(fmt.Sprintf("fence %s: counter array exhausted (%d counters); adapter flow control failed", m.name, m.limit))
+	}
+	m.counters[id] = &portState{expected: uint16(expected), mask: mask}
+}
+
+// Release frees the counter for fence id (the adapter-level flow control
+// recycles counters once a fence completes).
+func (m *MergeUnit) Release(id int) { delete(m.counters, id) }
+
+// InUse reports how many fence counters are live.
+func (m *MergeUnit) InUse() int { return len(m.counters) }
+
+// Arrive merges one incoming fence packet for fence id. When the counter
+// reaches the expected count it resets to zero and Arrive returns
+// (true, mask): the caller transmits exactly one fence packet to each output
+// port in the mask. Otherwise it returns (false, 0) and the packet is
+// consumed (merged).
+func (m *MergeUnit) Arrive(id int) (fire bool, mask OutputMask) {
+	st, ok := m.counters[id]
+	if !ok {
+		panic(fmt.Sprintf("fence %s: arrival for unconfigured fence %d", m.name, id))
+	}
+	st.count++
+	if st.count < st.expected {
+		return false, 0
+	}
+	st.count = 0 // counter resets when the fence packet is sent out
+	return true, st.mask
+}
+
+// Pending returns the current counter value for fence id (diagnostics).
+func (m *MergeUnit) Pending(id int) int {
+	if st, ok := m.counters[id]; ok {
+		return int(st.count)
+	}
+	return 0
+}
+
+// Allocator is the adapter flow-control mechanism bounding concurrent
+// fences machine-wide. Injection of a new fence blocks (returns false)
+// until an ID frees up.
+type Allocator struct {
+	inUse   [MaxConcurrent]bool
+	waiting []func(id int)
+}
+
+// Acquire returns a free fence ID, or queues fn to run when one frees and
+// returns -1.
+func (a *Allocator) Acquire(fn func(id int)) int {
+	for id, used := range a.inUse {
+		if !used {
+			a.inUse[id] = true
+			if fn != nil {
+				fn(id)
+			}
+			return id
+		}
+	}
+	a.waiting = append(a.waiting, fn)
+	return -1
+}
+
+// ReleaseID returns an ID to the pool, immediately handing it to the oldest
+// waiter if any.
+func (a *Allocator) ReleaseID(id int) {
+	if id < 0 || id >= MaxConcurrent || !a.inUse[id] {
+		panic("fence: releasing an ID that is not in use")
+	}
+	if len(a.waiting) > 0 {
+		fn := a.waiting[0]
+		a.waiting = a.waiting[1:]
+		if fn != nil {
+			fn(id)
+		}
+		return
+	}
+	a.inUse[id] = false
+}
+
+// InFlight reports how many fence IDs are outstanding.
+func (a *Allocator) InFlight() int {
+	n := 0
+	for _, u := range a.inUse {
+		if u {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package fence
+
+import "testing"
+
+func TestOutputMask(t *testing.T) {
+	m := OutputMask(0b1010)
+	if m.Has(0) || !m.Has(1) || m.Has(2) || !m.Has(3) {
+		t.Fatal("Has broken")
+	}
+	if m.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", m.Count())
+	}
+	if OutputMask(0).Count() != 0 {
+		t.Fatal("empty mask count")
+	}
+}
+
+func TestMergeFiresAtExpected(t *testing.T) {
+	// The Figure 10b example: an input port expecting fences from two
+	// upstream paths fires a single multicast after the second arrival.
+	m := NewMergeUnit("in0", 0)
+	m.Configure(3, 2, OutputMask(0b0110))
+	if fire, _ := m.Arrive(3); fire {
+		t.Fatal("fired after first of two arrivals")
+	}
+	if m.Pending(3) != 1 {
+		t.Fatalf("pending = %d", m.Pending(3))
+	}
+	fire, mask := m.Arrive(3)
+	if !fire || mask != OutputMask(0b0110) {
+		t.Fatalf("fire=%v mask=%b", fire, mask)
+	}
+}
+
+func TestMergeCounterResetsAfterFire(t *testing.T) {
+	// "When the fence packet is sent out, the counter is reset to zero" —
+	// the same counter serves the next fence with this ID.
+	m := NewMergeUnit("in0", 0)
+	m.Configure(0, 3, 1)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 2; i++ {
+			if fire, _ := m.Arrive(0); fire {
+				t.Fatalf("round %d fired early", round)
+			}
+		}
+		if fire, _ := m.Arrive(0); !fire {
+			t.Fatalf("round %d did not fire", round)
+		}
+		if m.Pending(0) != 0 {
+			t.Fatalf("round %d counter not reset", round)
+		}
+	}
+}
+
+func TestMergeIndependentIDs(t *testing.T) {
+	m := NewMergeUnit("in0", 0)
+	m.Configure(1, 2, 1)
+	m.Configure(2, 1, 2)
+	if fire, _ := m.Arrive(1); fire {
+		t.Fatal("fence 1 fired early")
+	}
+	if fire, mask := m.Arrive(2); !fire || mask != 2 {
+		t.Fatal("fence 2 should fire independently")
+	}
+	if fire, _ := m.Arrive(1); !fire {
+		t.Fatal("fence 1 should fire on second arrival")
+	}
+}
+
+func TestMergeUnconfiguredPanics(t *testing.T) {
+	m := NewMergeUnit("in0", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unconfigured arrival should panic")
+		}
+	}()
+	m.Arrive(9)
+}
+
+func TestCounterBudgetEnforced(t *testing.T) {
+	m := NewMergeUnit("in0", 4)
+	for id := 0; id < 4; id++ {
+		m.Configure(id, 1, 1)
+	}
+	if m.InUse() != 4 {
+		t.Fatalf("InUse = %d", m.InUse())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exceeding the counter budget should panic")
+		}
+	}()
+	m.Configure(5, 1, 1)
+}
+
+func TestReleaseRecyclesCounters(t *testing.T) {
+	m := NewMergeUnit("in0", 2)
+	m.Configure(0, 1, 1)
+	m.Configure(1, 1, 1)
+	m.Release(0)
+	m.Configure(2, 1, 1) // must not panic
+	if m.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", m.InUse())
+	}
+}
+
+func TestReconfigureExistingID(t *testing.T) {
+	m := NewMergeUnit("in0", 1)
+	m.Configure(0, 1, 1)
+	m.Configure(0, 2, 3) // reconfigure in place, not a new counter
+	if fire, _ := m.Arrive(0); fire {
+		t.Fatal("reconfigured expected count ignored")
+	}
+}
+
+func TestAllocatorLimit(t *testing.T) {
+	var a Allocator
+	ids := map[int]bool{}
+	for i := 0; i < MaxConcurrent; i++ {
+		id := a.Acquire(nil)
+		if id < 0 || ids[id] {
+			t.Fatalf("bad id %d", id)
+		}
+		ids[id] = true
+	}
+	if a.InFlight() != MaxConcurrent {
+		t.Fatalf("InFlight = %d", a.InFlight())
+	}
+	// The 15th fence must block (software overlap limit, Section V-D).
+	var granted []int
+	if id := a.Acquire(func(id int) { granted = append(granted, id) }); id != -1 {
+		t.Fatalf("15th fence should block, got id %d", id)
+	}
+	a.ReleaseID(3)
+	if len(granted) != 1 || granted[0] != 3 {
+		t.Fatalf("waiter grant = %v, want [3]", granted)
+	}
+}
+
+func TestAllocatorReleaseValidation(t *testing.T) {
+	var a Allocator
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing unused ID should panic")
+		}
+	}()
+	a.ReleaseID(0)
+}
+
+func TestMaxConcurrentIsFourteen(t *testing.T) {
+	if MaxConcurrent != 14 {
+		t.Fatal("the paper says up to 14 concurrent fences")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if GCtoGC.String() != "GC-to-GC" || GCtoICB.String() != "GC-to-ICB" {
+		t.Fatal("Pattern.String broken")
+	}
+}
+
+func TestConfigureInvalidExpected(t *testing.T) {
+	m := NewMergeUnit("in0", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero expected count should panic")
+		}
+	}()
+	m.Configure(0, 0, 1)
+}

@@ -1,0 +1,127 @@
+// Package fixp provides the fixed-point numeric types used on Anton 3
+// datapaths. Atom positions and forces travel the network as signed 32-bit
+// words (three or four per flit payload), and the particle cache stores
+// position history as 12-bit finite differences, so all network-visible
+// arithmetic in this repository is integer.
+package fixp
+
+import "fmt"
+
+// PosUnitsPerAngstrom is the global position scale: 2^16 units per angstrom.
+// A 32-bit coordinate then spans +/-32768 angstrom — far beyond any chemical
+// system Anton 3 runs — with 1.5e-5 angstrom resolution, comparable to the
+// fixed-point position format of the real machine. Positions are exported
+// relative to the sending node's home-box corner, which keeps the values
+// well under 2^25 for the box sizes in the paper's experiments and is what
+// gives INZ traction on uncompressed position payloads.
+const PosUnitsPerAngstrom = 1 << 16
+
+// ForceUnitsPerKcalMolA is the force scale: 2^13 units per kcal/mol/angstrom.
+// Typical per-pair force magnitudes in liquid water (a few to a few tens of
+// kcal/mol/A) then occupy 16-19 significant bits, the "small absolute value"
+// regime INZ is designed for (Section IV-A).
+const ForceUnitsPerKcalMolA = 1 << 13
+
+// Vec is a continuous-space 3-vector (angstrom or kcal/mol/angstrom).
+type Vec struct {
+	X, Y, Z float64
+}
+
+// Add returns v + o.
+func (v Vec) Add(o Vec) Vec { return Vec{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec) Sub(o Vec) Vec { return Vec{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v * s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product.
+func (v Vec) Dot(o Vec) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Norm2 returns the squared length.
+func (v Vec) Norm2() float64 { return v.Dot(v) }
+
+// Fixed is a fixed-point 3-vector as carried in a flit payload.
+type Fixed struct {
+	X, Y, Z int32
+}
+
+func (f Fixed) String() string { return fmt.Sprintf("(%d,%d,%d)", f.X, f.Y, f.Z) }
+
+// Words returns the payload words for this vector (word 3 is zero; atom
+// identity travels in the packet header).
+func (f Fixed) Words() [4]uint32 {
+	return [4]uint32{uint32(f.X), uint32(f.Y), uint32(f.Z), 0}
+}
+
+// FixedFromWords reconstructs a vector from payload words.
+func FixedFromWords(w [4]uint32) Fixed {
+	return Fixed{int32(w[0]), int32(w[1]), int32(w[2])}
+}
+
+// Add returns f + o with two's-complement wraparound, matching hardware.
+func (f Fixed) Add(o Fixed) Fixed { return Fixed{f.X + o.X, f.Y + o.Y, f.Z + o.Z} }
+
+// Sub returns f - o with two's-complement wraparound.
+func (f Fixed) Sub(o Fixed) Fixed { return Fixed{f.X - o.X, f.Y - o.Y, f.Z - o.Z} }
+
+// Coord returns the c-th coordinate (0=X, 1=Y, 2=Z).
+func (f Fixed) Coord(c int) int32 {
+	switch c {
+	case 0:
+		return f.X
+	case 1:
+		return f.Y
+	default:
+		return f.Z
+	}
+}
+
+// WithCoord returns a copy with coordinate c replaced.
+func (f Fixed) WithCoord(c int, v int32) Fixed {
+	switch c {
+	case 0:
+		f.X = v
+	case 1:
+		f.Y = v
+	default:
+		f.Z = v
+	}
+	return f
+}
+
+// PosToFixed quantizes a position in angstrom to the network fixed point.
+func PosToFixed(v Vec) Fixed {
+	return Fixed{roundToI32(v.X * PosUnitsPerAngstrom),
+		roundToI32(v.Y * PosUnitsPerAngstrom),
+		roundToI32(v.Z * PosUnitsPerAngstrom)}
+}
+
+// PosToVec converts a fixed-point position back to angstrom.
+func PosToVec(f Fixed) Vec {
+	return Vec{float64(f.X) / PosUnitsPerAngstrom,
+		float64(f.Y) / PosUnitsPerAngstrom,
+		float64(f.Z) / PosUnitsPerAngstrom}
+}
+
+// ForceToFixed quantizes a force in kcal/mol/angstrom.
+func ForceToFixed(v Vec) Fixed {
+	return Fixed{roundToI32(v.X * ForceUnitsPerKcalMolA),
+		roundToI32(v.Y * ForceUnitsPerKcalMolA),
+		roundToI32(v.Z * ForceUnitsPerKcalMolA)}
+}
+
+// ForceToVec converts a fixed-point force back to kcal/mol/angstrom.
+func ForceToVec(f Fixed) Vec {
+	return Vec{float64(f.X) / ForceUnitsPerKcalMolA,
+		float64(f.Y) / ForceUnitsPerKcalMolA,
+		float64(f.Z) / ForceUnitsPerKcalMolA}
+}
+
+func roundToI32(x float64) int32 {
+	if x >= 0 {
+		return int32(x + 0.5)
+	}
+	return int32(x - 0.5)
+}

@@ -1,0 +1,214 @@
+package machine
+
+import (
+	"fmt"
+
+	"anton3/internal/chip"
+	"anton3/internal/fence"
+	"anton3/internal/packet"
+	"anton3/internal/route"
+	"anton3/internal/sim"
+)
+
+// The machine-level fence engine implements the network fence as the
+// node-granularity wavefront described in DESIGN.md: each node merges the
+// fence copies arriving on every inbound channel slice (one per request VC,
+// counted by a fence.MergeUnit per channel) and, once its previous round is
+// complete, relays one merged fence per outbound channel slice per VC.
+// Because fence packets travel through the same ordered channels as data,
+// receipt of the round-r fence guarantees everything any node within r hops
+// sent before its fence has been delivered — the paper's ordering property.
+
+type fenceRound struct {
+	merge     *fence.MergeUnit // counts VC copies per inbound channel
+	chansDone int              // channels whose VC copies all arrived
+	prevDone  bool
+	complete  bool
+}
+
+type fenceOp struct {
+	id         int
+	pattern    fence.Pattern
+	hops       int
+	rounds     []*fenceRound
+	onComplete func(n *Node, at sim.Time)
+}
+
+func (n *Node) fenceOpFor(id, hops int, pattern fence.Pattern, onComplete func(*Node, sim.Time)) *fenceOp {
+	if op, ok := n.fences[id]; ok {
+		return op
+	}
+	op := &fenceOp{id: id, pattern: pattern, hops: hops, onComplete: onComplete}
+	op.rounds = make([]*fenceRound, hops+1)
+	specs := n.ChannelSpecs()
+	for r := range op.rounds {
+		fr := &fenceRound{merge: fence.NewMergeUnit(fmt.Sprintf("n%v.r%d", n.Coord, r), len(specs)+1)}
+		// Each inbound channel contributes one merged fence per request
+		// VC; the output mask is unused at node granularity.
+		for si := range specs {
+			fr.merge.Configure(si, route.NumRequestVCs, 1)
+		}
+		op.rounds[r] = fr
+	}
+	return op
+}
+
+// StartFence begins a network fence op across the whole machine: every
+// node's GCs issue fence(pattern, hops) at the current simulation time.
+// onComplete fires once per node when that node's fence completes (after
+// the intra-chip scatter). The returned id must be released by the caller
+// via FinishFence after all nodes complete.
+func (m *Machine) StartFence(pattern fence.Pattern, hops int, onComplete func(n *Node, at sim.Time)) int {
+	if hops < 0 || hops > m.cfg.Shape.Diameter() {
+		panic(fmt.Sprintf("machine: fence hops %d outside 0..diameter", hops))
+	}
+	id := m.fenceAlloc.Acquire(nil)
+	if id < 0 {
+		panic("machine: more than 14 concurrent fences; adapter flow control would block here")
+	}
+	for _, n := range m.nodes {
+		n.fences[id] = n.fenceOpFor(id, hops, pattern, onComplete)
+	}
+	gather := m.Geom.GatherLatency()
+	for _, n := range m.nodes {
+		node := n
+		m.K.After(gather, func() { node.fenceRoundComplete(id, 0) })
+	}
+	return id
+}
+
+// FinishFence releases the fence ID once every node has completed.
+func (m *Machine) FinishFence(id int) {
+	for _, n := range m.nodes {
+		delete(n.fences, id)
+	}
+	m.fenceAlloc.ReleaseID(id)
+}
+
+// fenceRoundComplete marks round r done at n and relays round r+1 fences.
+func (n *Node) fenceRoundComplete(id, r int) {
+	op := n.fences[id]
+	fr := op.rounds[r]
+	if fr.complete {
+		return
+	}
+	fr.complete = true
+
+	if r == op.hops {
+		// Scatter back to this chip's endpoints (GCs translate the fence
+		// into a counted write and unblock their blocking reads).
+		m := n.m
+		at := m.K.Now() + m.Geom.ScatterLatency()
+		m.K.At(at, func() { op.onComplete(n, at) })
+		return
+	}
+	if r+1 <= op.hops {
+		op.rounds[r+1].prevDone = true
+		n.relayFence(id, r+1)
+		n.checkFenceRound(id, r+1)
+	}
+}
+
+// relayFence sends the round-r fence copies: one header-only packet per
+// request VC on every outbound channel slice.
+func (n *Node) relayFence(id, r int) {
+	m := n.m
+	for _, cs := range n.ChannelSpecs() {
+		ch := n.out[cs]
+		dstCoord := m.cfg.Shape.Neighbor(n.Coord, cs.Dim, cs.Dir)
+		dst := m.Node(dstCoord)
+		// The receiver identifies the inbound link by its own CA spec:
+		// the channel pointing back toward us.
+		inSpec := chip.ChannelSpec{Dim: cs.Dim, Dir: -cs.Dir, Slice: cs.Slice}
+		for vc := 0; vc < route.NumRequestVCs; vc++ {
+			p := &packet.Packet{
+				ID:        m.nextPktID(),
+				Type:      packet.Fence,
+				SrcNode:   n.Coord,
+				DstNode:   dstCoord,
+				FenceID:   id,
+				FenceHops: r,
+			}
+			ch.Send(p, func(q *packet.Packet) {
+				// CA rx + per-port merge + the flood overhead of
+				// covering every edge-network path at this hop; the
+				// first torus crossing additionally pays the one-time
+				// fence pipeline fill (all VCs, both slices, every
+				// edge-network column).
+				cycles := m.cfg.Lat.CARxCycles + m.cfg.Lat.FenceMergeCycles
+				if q.FenceHops == 1 {
+					cycles += m.cfg.Lat.FenceRemoteFixedCycles
+				}
+				lat := m.Clock.Cycles(cycles) + m.Geom.FenceHopExtra()
+				m.K.After(lat, func() {
+					dst.fenceArrive(q.FenceID, q.FenceHops, inSpec)
+				})
+			})
+		}
+	}
+}
+
+// fenceArrive merges one fence copy for round r arriving on channel spec.
+func (n *Node) fenceArrive(id, r int, spec chip.ChannelSpec) {
+	op, ok := n.fences[id]
+	if !ok {
+		panic("machine: fence arrival for unknown fence op")
+	}
+	fr := op.rounds[r]
+	si := n.specIndex(spec)
+	if fire, _ := fr.merge.Arrive(si); fire {
+		fr.chansDone++
+		n.checkFenceRound(id, r)
+	}
+}
+
+func (n *Node) specIndex(spec chip.ChannelSpec) int {
+	for i, cs := range n.ChannelSpecs() {
+		if cs == spec {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("machine: unknown channel spec %v", spec))
+}
+
+// checkFenceRound completes round r once every inbound channel has merged
+// and the node's own previous round is done.
+func (n *Node) checkFenceRound(id, r int) {
+	op := n.fences[id]
+	fr := op.rounds[r]
+	if fr.complete || !fr.prevDone {
+		return
+	}
+	if fr.chansDone < len(n.ChannelSpecs()) {
+		return
+	}
+	n.fenceRoundComplete(id, r)
+}
+
+// BarrierResult reports a fence barrier measurement (Figure 11).
+type BarrierResult struct {
+	Hops    int
+	Latency sim.Time // last GC unblocked minus fence issue
+}
+
+// Barrier runs a GC-to-GC network fence with the given hop count across the
+// machine and returns the barrier latency: all GCs issue the fence at the
+// same instant, and the barrier completes when the last node's blocking
+// read unblocks. hops = Shape.Diameter() is the global barrier.
+func (m *Machine) Barrier(hops int) BarrierResult {
+	start := m.K.Now()
+	var last sim.Time
+	remaining := len(m.nodes)
+	id := m.StartFence(fence.GCtoGC, hops, func(n *Node, at sim.Time) {
+		if at > last {
+			last = at
+		}
+		remaining--
+	})
+	m.K.Run()
+	if remaining != 0 {
+		panic(fmt.Sprintf("machine: barrier incomplete, %d nodes pending", remaining))
+	}
+	m.FinishFence(id)
+	return BarrierResult{Hops: hops, Latency: last - start}
+}

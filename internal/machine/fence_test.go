@@ -1,0 +1,198 @@
+package machine
+
+import (
+	"testing"
+
+	"anton3/internal/fence"
+	"anton3/internal/serdes"
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+)
+
+func TestBarrierZeroHopNear51ns(t *testing.T) {
+	// Figure 11: the intra-node barrier takes about 51.5 ns.
+	m := New(DefaultConfig(shape128))
+	r := m.Barrier(0)
+	ns := r.Latency.Nanoseconds()
+	if ns < 46.4 || ns > 56.7 {
+		t.Fatalf("0-hop barrier = %.1f ns, want 51.5 +/- 10%%", ns)
+	}
+}
+
+func TestGlobalBarrierNear504ns(t *testing.T) {
+	// Figure 11: the 8-hop global barrier on the 4x4x8 machine takes
+	// about 504 ns.
+	m := New(DefaultConfig(shape128))
+	r := m.Barrier(m.Shape().Diameter())
+	if r.Hops != 8 {
+		t.Fatalf("diameter = %d, want 8", r.Hops)
+	}
+	ns := r.Latency.Nanoseconds()
+	if ns < 453 || ns > 555 {
+		t.Fatalf("global barrier = %.1f ns, want 504 +/- 10%%", ns)
+	}
+}
+
+func TestBarrierScalesLinearly(t *testing.T) {
+	// Fit hops 1..8 and check slope ~51.8 ns/hop, intercept ~91.2 ns.
+	var xs, ys []float64
+	for h := 1; h <= 8; h++ {
+		m := New(DefaultConfig(shape128))
+		r := m.Barrier(h)
+		xs = append(xs, float64(h))
+		ys = append(ys, r.Latency.Nanoseconds())
+	}
+	slope, intercept := linfit(xs, ys)
+	if slope < 46.6 || slope > 57 {
+		t.Fatalf("barrier slope = %.1f ns/hop, want 51.8 +/- 10%%", slope)
+	}
+	if intercept < 82 || intercept > 100 {
+		t.Fatalf("barrier intercept = %.1f ns, want 91.2 +/- 10%%", intercept)
+	}
+}
+
+func linfit(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	slope = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+func TestFenceSlowerPerHopThanMessage(t *testing.T) {
+	// Section V-F: fence per-hop latency exceeds message per-hop latency
+	// by ~17.6 ns because fences travel all valid paths at every hop.
+	m1 := New(DefaultConfig(shape128))
+	b1 := m1.Barrier(1)
+	m2 := New(DefaultConfig(shape128))
+	b4 := m2.Barrier(4)
+	fencePerHop := (b4.Latency - b1.Latency).Nanoseconds() / 3
+	if fencePerHop < 46 || fencePerHop > 58 {
+		t.Fatalf("fence per-hop = %.1f ns, want ~51.8", fencePerHop)
+	}
+	extra := fencePerHop - 34.2
+	if extra < 12 || extra > 23 {
+		t.Fatalf("fence per-hop excess = %.1f ns, want ~17.6", extra)
+	}
+}
+
+func TestBarrierIsOneWay(t *testing.T) {
+	// The network fence is a one-way barrier: traffic sent after the
+	// fence may arrive before it. Model check: a counted write issued
+	// after StartFence still delivers while the barrier is in flight.
+	m := New(DefaultConfig(shape128))
+	a := m.GC(topo.Coord{}, 0)
+	b := m.GC(topo.Coord{X: 1}, 0)
+	var writeAt, barrierAt sim.Time
+	id := m.StartFence(fence.GCtoGC, 8, func(n *Node, at sim.Time) {
+		if at > barrierAt {
+			barrierAt = at
+		}
+	})
+	b.BlockingRead(5, 1, func([4]uint32) { writeAt = m.K.Now() })
+	a.CountedWrite(b, 5, [4]uint32{1})
+	m.K.Run()
+	m.FinishFence(id)
+	if writeAt == 0 || barrierAt == 0 {
+		t.Fatal("missing completion")
+	}
+	if writeAt >= barrierAt {
+		t.Fatalf("1-hop write at %v should beat 8-hop barrier at %v", writeAt, barrierAt)
+	}
+}
+
+func TestFenceFlushesPriorTraffic(t *testing.T) {
+	// The core ordering guarantee: packets sent before the fence arrive
+	// before the fence completes at their destination's node. Saturate a
+	// channel with writes, then fence: barrier completion must come after
+	// the last write delivery.
+	m := New(DefaultConfig(topo.Shape{X: 2, Y: 2, Z: 2}))
+	a := m.GC(topo.Coord{}, 0)
+	b := m.GC(topo.Coord{X: 1}, 0)
+	n := 200
+	var lastWrite sim.Time
+	b.BlockingRead(9, uint8(n), func([4]uint32) { lastWrite = m.K.Now() })
+	for i := 0; i < n; i++ {
+		a.CountedWrite(b, 9, [4]uint32{uint32(i), 0, 0, 0})
+	}
+	var barrier sim.Time
+	id := m.StartFence(fence.GCtoGC, m.Shape().Diameter(), func(n *Node, at sim.Time) {
+		if at > barrier {
+			barrier = at
+		}
+	})
+	m.K.Run()
+	m.FinishFence(id)
+	if lastWrite == 0 {
+		t.Fatal("writes not delivered")
+	}
+	if barrier <= lastWrite {
+		t.Fatalf("barrier at %v did not flush writes finishing at %v", barrier, lastWrite)
+	}
+}
+
+func TestConcurrentFenceLimit(t *testing.T) {
+	m := New(DefaultConfig(topo.Shape{X: 2, Y: 2, Z: 2}))
+	done := func(*Node, sim.Time) {}
+	ids := make([]int, 0, fence.MaxConcurrent)
+	for i := 0; i < fence.MaxConcurrent; i++ {
+		ids = append(ids, m.StartFence(fence.GCtoGC, 1, done))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("15th concurrent fence should hit flow control")
+			}
+		}()
+		m.StartFence(fence.GCtoGC, 1, done)
+	}()
+	m.K.Run()
+	for _, id := range ids {
+		m.FinishFence(id)
+	}
+	if got := m.StartFence(fence.GCtoGC, 0, done); got < 0 {
+		t.Fatal("IDs not recycled")
+	}
+	m.K.Run()
+}
+
+func TestBarrierDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		m := New(DefaultConfig(topo.Shape{X: 2, Y: 2, Z: 2}))
+		return m.Barrier(3).Latency
+	}
+	if run() != run() {
+		t.Fatal("barrier latency not deterministic")
+	}
+}
+
+func TestBarrierWithCompressionEnabled(t *testing.T) {
+	// Fence packets traverse compressing channels; the barrier must work
+	// and the caches stay in sync (fences are header-only and untouched).
+	cfg := DefaultConfig(topo.Shape{X: 2, Y: 2, Z: 2})
+	cfg.Compress = serdes.CompressConfig{INZ: true, Pcache: true}
+	m := New(cfg)
+	r := m.Barrier(m.Shape().Diameter())
+	if r.Latency <= 0 {
+		t.Fatal("no barrier latency")
+	}
+	if err := m.CheckChannelSync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFenceHopsValidation(t *testing.T) {
+	m := New(DefaultConfig(topo.Shape{X: 2, Y: 2, Z: 2}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hops beyond diameter should panic")
+		}
+	}()
+	m.StartFence(fence.GCtoGC, 99, func(*Node, sim.Time) {})
+}

@@ -1,0 +1,178 @@
+// Package machine assembles Anton 3 nodes into a full machine on the 3D
+// torus and provides the measurement harnesses the paper's evaluation
+// sections use: the ping-pong latency test (Section III-C), the network
+// fence barrier (Section V-F), and the MD timestep pipeline engine
+// (Section VI-A).
+package machine
+
+import (
+	"fmt"
+
+	"anton3/internal/chip"
+	"anton3/internal/fence"
+	"anton3/internal/mem"
+	"anton3/internal/packet"
+	"anton3/internal/serdes"
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+)
+
+// Config describes one machine.
+type Config struct {
+	Shape    topo.Shape
+	ClockMHz int64
+	Lat      chip.Latencies
+	Compress serdes.CompressConfig
+	Seed     uint64
+	// ForceXYZOrder disables randomized dimension-order selection for
+	// request packets (the DESIGN.md routing ablation): every request
+	// follows XYZ, concentrating load instead of spreading it.
+	ForceXYZOrder bool
+}
+
+// DefaultConfig returns the production configuration for a given torus
+// shape: 2.8 GHz clock, calibrated latencies, compression on.
+func DefaultConfig(shape topo.Shape) Config {
+	return Config{
+		Shape:    shape,
+		ClockMHz: 2800,
+		Lat:      chip.DefaultLatencies(),
+		Compress: serdes.CompressConfig{INZ: true, Pcache: true},
+		Seed:     1,
+	}
+}
+
+// Machine is a simulated Anton 3 machine.
+type Machine struct {
+	cfg   Config
+	K     *sim.Kernel
+	Clock sim.Clock
+	Geom  *chip.Geometry
+	nodes []*Node
+	rng   *sim.Rand
+	pktID uint64
+
+	fenceAlloc fence.Allocator
+}
+
+// Node is one ASIC plus its outbound channel slices.
+type Node struct {
+	m      *Machine
+	Coord  topo.Coord
+	out    map[chip.ChannelSpec]*serdes.Channel
+	srams  map[int]*mem.SRAM // lazily allocated per GC index
+	fences map[int]*fenceOp
+}
+
+// New builds a machine; all nodes and channels are wired immediately, GC
+// SRAMs lazily.
+func New(cfg Config) *Machine {
+	if !cfg.Shape.Valid() {
+		panic(fmt.Sprintf("machine: invalid shape %v", cfg.Shape))
+	}
+	m := &Machine{
+		cfg:   cfg,
+		K:     sim.NewKernel(),
+		Clock: sim.NewClock(cfg.ClockMHz),
+		rng:   sim.NewRand(cfg.Seed),
+	}
+	m.Geom = chip.New(m.Clock, cfg.Lat)
+	specs := chip.AllChannelSpecs(cfg.Shape)
+	m.nodes = make([]*Node, cfg.Shape.Nodes())
+	for i := range m.nodes {
+		n := &Node{
+			m:      m,
+			Coord:  cfg.Shape.CoordOf(i),
+			out:    make(map[chip.ChannelSpec]*serdes.Channel, len(specs)),
+			srams:  make(map[int]*mem.SRAM),
+			fences: make(map[int]*fenceOp),
+		}
+		m.nodes[i] = n
+	}
+	chCfg := serdes.ChannelConfig{
+		Lanes:        chip.LanesPerSlice,
+		GbpsLane:     topo.SerdesGbps,
+		FixedLatency: cfg.Lat.ChannelFixed,
+		Compress:     cfg.Compress,
+	}
+	for _, n := range m.nodes {
+		for _, cs := range specs {
+			n.out[cs] = serdes.NewChannel(m.K, chCfg)
+		}
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Shape returns the torus shape.
+func (m *Machine) Shape() topo.Shape { return m.cfg.Shape }
+
+// Node returns the node at c.
+func (m *Machine) Node(c topo.Coord) *Node {
+	return m.nodes[m.cfg.Shape.Index(c)]
+}
+
+// Nodes iterates over all nodes.
+func (m *Machine) Nodes() []*Node { return m.nodes }
+
+// nextPktID hands out unique packet IDs.
+func (m *Machine) nextPktID() uint64 {
+	m.pktID++
+	return m.pktID
+}
+
+// Channel returns the outbound channel slice on node c for spec cs
+// (diagnostics and traffic accounting).
+func (n *Node) Channel(cs chip.ChannelSpec) *serdes.Channel { return n.out[cs] }
+
+// ChannelSpecs lists this node's outbound channel specs in a fixed order.
+func (n *Node) ChannelSpecs() []chip.ChannelSpec {
+	return chip.AllChannelSpecs(n.m.cfg.Shape)
+}
+
+// sram returns (allocating if needed) the SRAM block of one GC.
+func (n *Node) sram(core packet.CoreID) *mem.SRAM {
+	idx := n.m.Geom.IndexOfCore(core)
+	s, ok := n.srams[idx]
+	if !ok {
+		s = mem.NewSRAM(mem.QuadsPerBlock)
+		n.srams[idx] = s
+	}
+	return s
+}
+
+// TotalWireStats sums compression statistics over every channel in the
+// machine (the Figure 9a quantity).
+func (m *Machine) TotalWireStats() serdes.Stats {
+	var total serdes.Stats
+	for _, n := range m.nodes {
+		for _, ch := range n.out {
+			st := ch.Compressor().Stats()
+			total.Packets += st.Packets
+			total.WireBits += st.WireBits
+			total.BaselineBits += st.BaselineBits
+			total.PositionBits += st.PositionBits
+			total.ForceBits += st.ForceBits
+			total.OtherBits += st.OtherBits
+			total.PcacheHits += st.PcacheHits
+			total.PcacheMisses += st.PcacheMisses
+			total.RawINZPayloads += st.RawINZPayloads
+		}
+	}
+	return total
+}
+
+// CheckChannelSync asserts every channel's particle cache pair is in sync;
+// it returns an error naming the first failure.
+func (m *Machine) CheckChannelSync() error {
+	for _, n := range m.nodes {
+		for cs, ch := range n.out {
+			if !ch.Compressor().InSync() {
+				return fmt.Errorf("machine: node %v channel %v desynchronized", n.Coord, cs)
+			}
+		}
+	}
+	return nil
+}

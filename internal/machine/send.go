@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"anton3/internal/chip"
+	"anton3/internal/packet"
+	"anton3/internal/route"
+	"anton3/internal/topo"
+)
+
+// sliceFor picks the channel slice for a packet. Positions and forces use
+// atom-ID affinity so a given atom always crosses the same slice's particle
+// cache; other traffic leaves via the edge nearest its source ("routed
+// directly to either edge of the chip", Section III-B1), which is also what
+// minimizes latency.
+func (m *Machine) sliceFor(p *packet.Packet) int {
+	if p.Type == packet.Position || p.Type == packet.Force {
+		return int(p.AtomID) & 1
+	}
+	if side, _ := m.Geom.Shape.NearestSide(p.SrcCore.Tile); side == topo.Left {
+		return 0
+	}
+	return 1
+}
+
+// steps computes the hop sequence for p per its traffic class: requests get
+// a uniformly random dimension order (minimal oblivious routing); responses
+// are XYZ mesh-restricted.
+func (m *Machine) steps(p *packet.Packet) []topo.Step {
+	if p.Type.Class() == packet.Response {
+		return route.ResponseRoute(m.cfg.Shape, p.SrcNode, p.DstNode)
+	}
+	p.Order = route.PickOrder(m.rng)
+	if m.cfg.ForceXYZOrder {
+		p.Order = topo.OrderXYZ
+	}
+	// Direction ties (even rings) balance across both physical links;
+	// position/force packets break ties by atom ID so their channel (and
+	// particle cache) stays stable step to step.
+	plusOnTie := m.rng.Intn(2) == 0
+	if p.Type == packet.Position || p.Type == packet.Force {
+		plusOnTie = p.AtomID&2 != 0
+	}
+	return topo.RouteTie(m.cfg.Shape, p.SrcNode, p.DstNode, p.Order, plusOnTie)
+}
+
+// Send walks p through the network: inject at the source chip, cross
+// channels hop by hop (transiting edge networks at intermediate chips), and
+// apply the packet at the destination SRAM. deliver, if non-nil, runs at
+// the destination node after the SRAM update.
+func (m *Machine) Send(p *packet.Packet, deliver func()) {
+	p.ID = m.nextPktID()
+	p.Injected = m.K.Now()
+	src := m.Node(p.SrcNode)
+
+	if p.SrcNode == p.DstNode {
+		lat := m.Geom.OnChipLatency(p.SrcCore, p.DstCore)
+		m.K.After(lat, func() {
+			m.apply(src, p)
+			if deliver != nil {
+				deliver()
+			}
+		})
+		return
+	}
+
+	steps := m.steps(p)
+	slice := m.sliceFor(p)
+	nodeSeq := make([]*Node, 0, len(steps)+1)
+	nodeSeq = append(nodeSeq, src)
+	cur := p.SrcNode
+	for _, st := range steps {
+		cur = m.cfg.Shape.Neighbor(cur, st.Dim, st.Dir)
+		nodeSeq = append(nodeSeq, m.Node(cur))
+	}
+
+	spec := func(i int) chip.ChannelSpec {
+		return chip.ChannelSpec{Dim: steps[i].Dim, Dir: steps[i].Dir, Slice: slice}
+	}
+	// inSpec is the receiver-side spec of the channel just crossed: the
+	// receiver's CA for the link toward the sender.
+	inSpec := func(i int) chip.ChannelSpec {
+		return chip.ChannelSpec{Dim: steps[i].Dim, Dir: -steps[i].Dir, Slice: slice}
+	}
+
+	var hop func(i int) func(*packet.Packet)
+	hop = func(i int) func(*packet.Packet) {
+		node := nodeSeq[i+1] // node reached after crossing channel i
+		if i == len(steps)-1 {
+			return func(q *packet.Packet) {
+				lat := m.Geom.EjectLatency(inSpec(i), q.DstCore)
+				m.K.After(lat, func() {
+					m.apply(node, q)
+					if deliver != nil {
+						deliver()
+					}
+				})
+			}
+		}
+		return func(q *packet.Packet) {
+			lat := m.Geom.TransitLatency(inSpec(i), spec(i+1))
+			m.K.After(lat, func() {
+				node.out[spec(i+1)].Send(q, hop(i+1))
+			})
+		}
+	}
+
+	inj := m.Geom.InjectLatency(p.SrcCore, spec(0))
+	m.K.After(inj, func() {
+		src.out[spec(0)].Send(p, hop(0))
+	})
+}
+
+// apply commits a packet's effect at its destination node.
+func (m *Machine) apply(n *Node, p *packet.Packet) {
+	switch p.Type {
+	case packet.CountedWrite:
+		n.sram(p.DstCore).CountedWrite(p.Addr, p.Payload)
+	case packet.CountedAccum:
+		n.sram(p.DstCore).CountedAccum(p.Addr, p.Payload)
+	case packet.ReadReq:
+		data := n.sram(p.DstCore).ReadQuad(p.Addr)
+		resp := &packet.Packet{
+			Type:    packet.ReadResp,
+			SrcNode: p.DstNode, DstNode: p.SrcNode,
+			SrcCore: p.DstCore, DstCore: p.SrcCore,
+			Addr: p.Addr,
+		}
+		resp.SetQuad(data)
+		m.Send(resp, nil)
+	case packet.ReadResp:
+		// Read responses land in the requester's SRAM as a counted write
+		// so software can block on them.
+		n.sram(p.DstCore).CountedWrite(p.Addr, p.Payload)
+	case packet.Position, packet.Force, packet.EndOfStep:
+		// Endpoint behavior belongs to the caller's deliver callback
+		// (the timestep engine counts these into ICB/GC queues).
+	case packet.Fence:
+		panic("machine: fence packets travel via the fence engine, not Send")
+	}
+}

@@ -1,0 +1,347 @@
+package machine
+
+import (
+	"fmt"
+
+	"anton3/internal/chip"
+	"anton3/internal/fence"
+	"anton3/internal/fixp"
+	"anton3/internal/md"
+	"anton3/internal/packet"
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+	"anton3/internal/trace"
+)
+
+// TimestepConfig calibrates the compute side of the timestep pipeline.
+type TimestepConfig struct {
+	// PPIMInteractionsPerCycle is the per-chip pairwise interaction
+	// throughput. Table I's 5914 GOPS divided by the ~30 arithmetic
+	// operations of one pairwise force evaluation gives the default 192.
+	PPIMInteractionsPerCycle int64
+	// IntegrationCyclesPerAtom is GC work per home atom per step (force
+	// summation via blocking reads, integration, position update).
+	IntegrationCyclesPerAtom int64
+	// UnloadCycles covers PPIM stored-set force unload onto the on-chip
+	// network after the GC-to-ICB fence completes.
+	UnloadCycles int64
+	// LocalStreamCycles is the on-chip latency before a home atom's
+	// position reaches its own node's ICBs and starts streaming.
+	LocalStreamCycles int64
+}
+
+// DefaultTimestepConfig returns the calibration used by the experiments.
+func DefaultTimestepConfig() TimestepConfig {
+	return TimestepConfig{
+		PPIMInteractionsPerCycle: 192,
+		IntegrationCyclesPerAtom: 100,
+		UnloadCycles:             200,
+		LocalStreamCycles:        60,
+	}
+}
+
+// StepResult reports one simulated MD time step.
+type StepResult struct {
+	Duration    sim.Time
+	PPIMBusyMax float64 // highest per-node PPIM utilization during the step
+}
+
+// Engine drives the Section II-C dataflow on the machine for a decomposed
+// MD system: position multicast along stream-set trees, streaming through
+// PPIMs, force returns, the GC-to-ICB fence, stored-set unload, and GC
+// integration. It produces per-step wall-clock times (Figure 9b) and
+// machine activity traces (Figure 12).
+type Engine struct {
+	m   *Machine
+	sys *md.System
+	d   *md.Decomposition
+	cfg TimestepConfig
+
+	// Rec, when non-nil, receives activity intervals.
+	Rec *trace.Recorder
+
+	radius int // fence hop count: max home->target distance
+
+	states []*nodeStep
+}
+
+type nodeStep struct {
+	node      *Node
+	homeAtoms []int32
+
+	streamsExpected int
+	streamsDone     int
+	forcesExpected  int
+	forcesArrived   int
+	fenceDoneAt     sim.Time
+	fenceDone       bool
+
+	ppimBusyUntil sim.Time
+	ppimBusy      sim.Time // total busy time this step
+	workPerAtomPs sim.Time
+
+	unloadDone bool
+	doneAt     sim.Time
+	finished   bool
+}
+
+// NewEngine decomposes sys across m's shape.
+func NewEngine(m *Machine, sys *md.System, cfg TimestepConfig) *Engine {
+	return &Engine{
+		m:   m,
+		sys: sys,
+		d:   md.NewDecomposition(m.Shape(), sys.Box),
+		cfg: cfg,
+	}
+}
+
+// RunStep executes one full timestep pipeline for the system's current
+// state and then advances the golden dynamics, returning the pipeline's
+// wall-clock duration (max over nodes).
+func (e *Engine) RunStep() StepResult {
+	m := e.m
+	shape := m.Shape()
+	t0 := m.K.Now()
+
+	// Per-node setup.
+	e.states = make([]*nodeStep, shape.Nodes())
+	for i := range e.states {
+		e.states[i] = &nodeStep{node: m.nodes[i], ppimBusyUntil: t0}
+	}
+
+	// Classify every atom: home node, export targets, multicast tree.
+	type atomPlan struct {
+		home    topo.Coord
+		targets []topo.Coord
+		rel     fixp.Fixed
+	}
+	plans := make([]atomPlan, e.sys.N)
+	e.radius = 1
+	var scratch []topo.Coord
+	totalStreams := 0
+	for i := 0; i < e.sys.N; i++ {
+		home := e.d.HomeNode(e.sys.Pos[i])
+		scratch = e.d.ExportTargets(e.sys.Pos[i], home, scratch)
+		targets := append([]topo.Coord(nil), scratch...)
+		plans[i] = atomPlan{home: home, targets: targets, rel: e.d.RelativeFixed(e.sys.Pos[i], home)}
+		hs := e.states[shape.Index(home)]
+		hs.homeAtoms = append(hs.homeAtoms, int32(i))
+		hs.forcesExpected += len(targets)
+		hs.streamsExpected++ // the home atom streams locally too
+		for _, tgt := range targets {
+			e.states[shape.Index(tgt)].streamsExpected++
+			if h := shape.HopDist(home, tgt); h > e.radius {
+				e.radius = h
+			}
+		}
+		totalStreams += 1 + len(targets)
+	}
+
+	// PPIM work per streamed atom: balanced split of the global pair count
+	// (water is homogeneous; per-node imbalance is a few percent).
+	pairs := e.sys.PairCount()
+	perChipPairs := pairs / shape.Nodes()
+	cyclePs := m.Clock.Period()
+	for _, st := range e.states {
+		if st.streamsExpected > 0 {
+			interactionsPerStream := float64(perChipPairs) / float64(st.streamsExpected)
+			ps := interactionsPerStream / float64(e.cfg.PPIMInteractionsPerCycle) * float64(cyclePs)
+			st.workPerAtomPs = sim.Time(ps)
+			if st.workPerAtomPs < 1 {
+				st.workPerAtomPs = 1
+			}
+		}
+	}
+
+	// Phase 1: position export. Home atoms stream locally after an on-chip
+	// latency; exported copies walk the multicast tree through channels.
+	for i := range plans {
+		p := &plans[i]
+		atom := uint32(i)
+		homeState := e.states[shape.Index(p.home)]
+
+		core := m.Geom.CoreIDByIndex(int(atom) % m.Geom.GCs())
+		m.K.After(m.Clock.Cycles(e.cfg.LocalStreamCycles), func() {
+			e.streamArrive(homeState, atom, p.home, core)
+		})
+
+		if len(p.targets) == 0 {
+			continue
+		}
+		e.multicast(atom, core, p.rel, p.home, p.targets)
+	}
+
+	// The GC-to-ICB fence flushes the position export; its packets queue
+	// behind the positions just sent on every channel.
+	fenceID := m.StartFence(fence.GCtoICB, e.radius, func(n *Node, at sim.Time) {
+		st := e.states[shape.Index(n.Coord)]
+		st.fenceDone = true
+		st.fenceDoneAt = at
+		e.maybeUnload(st)
+	})
+
+	m.K.Run()
+	m.FinishFence(fenceID)
+
+	end := t0
+	maxBusy := 0.0
+	for _, st := range e.states {
+		if !st.finished {
+			panic(fmt.Sprintf("machine: node %v did not finish its timestep", st.node.Coord))
+		}
+		if st.doneAt > end {
+			end = st.doneAt
+		}
+		if st.doneAt > t0 {
+			u := float64(st.ppimBusy) / float64(st.doneAt-t0)
+			if u > maxBusy {
+				maxBusy = u
+			}
+		}
+	}
+
+	// Advance the golden dynamics for the next step.
+	e.sys.Step()
+	return StepResult{Duration: end - t0, PPIMBusyMax: maxBusy}
+}
+
+// multicast walks an atom's stream-set tree through the timed channels.
+func (e *Engine) multicast(atom uint32, core packet.CoreID, rel fixp.Fixed, home topo.Coord, targets []topo.Coord) {
+	m := e.m
+	shape := m.Shape()
+	slice := int(atom) & 1
+	plusOnTie := atom&2 != 0
+	edges := md.MulticastEdges(shape, home, targets, plusOnTie, nil)
+
+	// Outgoing tree adjacency per node.
+	outOf := make(map[topo.Coord][]topo.Step)
+	for _, ed := range edges {
+		outOf[ed.From] = append(outOf[ed.From], ed.Step)
+	}
+	isTarget := make(map[topo.Coord]bool, len(targets))
+	for _, t := range targets {
+		isTarget[t] = true
+	}
+
+	var walk func(at topo.Coord, inSpec chip.ChannelSpec, entered bool)
+	walk = func(at topo.Coord, inSpec chip.ChannelSpec, entered bool) {
+		node := m.Node(at)
+		if entered && isTarget[at] {
+			// Eject to this node's ICBs and stream through PPIMs.
+			eject := m.Geom.EjectLatency(inSpec, packet.CoreID{})
+			st := e.states[shape.Index(at)]
+			m.K.After(eject, func() { e.streamArrive(st, atom, at, core) })
+		}
+		for _, step := range outOf[at] {
+			outSpec := chip.ChannelSpec{Dim: step.Dim, Dir: step.Dir, Slice: slice}
+			next := shape.Neighbor(at, step.Dim, step.Dir)
+			nextIn := chip.ChannelSpec{Dim: step.Dim, Dir: -step.Dir, Slice: slice}
+			send := func() {
+				p := &packet.Packet{
+					ID: m.nextPktID(), Type: packet.Position,
+					SrcNode: home, DstNode: next,
+					SrcCore: core, AtomID: atom,
+				}
+				p.SetQuad(rel.Words())
+				node.out[outSpec].Send(p, func(q *packet.Packet) {
+					walk(next, nextIn, true)
+				})
+			}
+			if !entered {
+				m.K.After(m.Geom.InjectLatency(core, outSpec), send)
+			} else {
+				m.K.After(m.Geom.TransitLatency(inSpec, outSpec), send)
+			}
+		}
+	}
+	walk(home, chip.ChannelSpec{}, false)
+}
+
+// streamArrive enqueues one streamed atom on the node's PPIM array; when
+// its interactions complete, a remote atom's partial force returns to its
+// home GC as a stream-set force packet.
+func (e *Engine) streamArrive(st *nodeStep, atom uint32, at topo.Coord, origin packet.CoreID) {
+	m := e.m
+	now := m.K.Now()
+	start := st.ppimBusyUntil
+	if start < now {
+		start = now
+	}
+	endT := start + st.workPerAtomPs
+	st.ppimBusyUntil = endT
+	st.ppimBusy += endT - start
+	if e.Rec != nil {
+		e.Rec.Add("ppim", start, endT)
+	}
+	home := e.d.HomeNode(e.sys.Pos[atom])
+	m.K.At(endT, func() {
+		st.streamsDone++
+		if at != home {
+			// Stream-set force returns to the origin GC.
+			ff := fixp.ForceToFixed(e.sys.Force[atom])
+			p := &packet.Packet{
+				Type: packet.Force, AtomID: atom,
+				SrcNode: at, DstNode: home,
+				DstCore: origin,
+			}
+			p.SetQuad(ff.Words())
+			m.Send(p, func() {
+				hs := e.states[m.Shape().Index(home)]
+				hs.forcesArrived++
+				e.maybeIntegrate(hs)
+			})
+		}
+		e.maybeUnload(st)
+	})
+}
+
+// maybeUnload fires the stored-set force unload once the ICB fence has
+// completed and the PPIMs have drained.
+func (e *Engine) maybeUnload(st *nodeStep) {
+	if st.unloadDone || !st.fenceDone || st.streamsDone < st.streamsExpected {
+		return
+	}
+	st.unloadDone = true
+	m := e.m
+	m.K.After(m.Clock.Cycles(e.cfg.UnloadCycles), func() {
+		e.maybeIntegrate(st)
+	})
+}
+
+// maybeIntegrate runs GC integration once every force (stored-set unload
+// and all stream-set returns) is in.
+func (e *Engine) maybeIntegrate(st *nodeStep) {
+	if st.finished || !st.unloadDone || st.forcesArrived < st.forcesExpected {
+		return
+	}
+	st.finished = true
+	m := e.m
+	// Integration parallelizes across the chip's GCs.
+	cycles := (int64(len(st.homeAtoms))*e.cfg.IntegrationCyclesPerAtom + int64(m.Geom.GCs()) - 1) / int64(m.Geom.GCs())
+	start := m.K.Now()
+	st.doneAt = start + m.Clock.Cycles(cycles)
+	if e.Rec != nil {
+		e.Rec.Add("gc-integ", start, st.doneAt)
+	}
+	m.K.At(st.doneAt, func() {})
+}
+
+// AttachChannelTrace wires every channel's OnSend hook into rec, split by
+// packet type the way Figure 12 colors them (positions vs forces).
+func (e *Engine) AttachChannelTrace(rec *trace.Recorder) {
+	e.Rec = rec
+	for _, n := range e.m.nodes {
+		for _, ch := range n.out {
+			ch.OnSend = func(p *packet.Packet, start, end sim.Time) {
+				switch p.Type {
+				case packet.Position:
+					rec.Add("chan-pos", start, end)
+				case packet.Force:
+					rec.Add("chan-frc", start, end)
+				default:
+					rec.Add("chan-other", start, end)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package md
+
+import "anton3/internal/fixp"
+
+// cellList is a standard linked-cell neighbor structure: the box is divided
+// into cells no smaller than the cutoff, so all interacting pairs lie in
+// the same or adjacent cells (with periodic wraparound). The cell-pair scan
+// list is precomputed once with the half-shell convention, so each pair of
+// cells is visited exactly once per force evaluation.
+type cellList struct {
+	box      float64
+	perSide  int
+	cellSize float64
+	heads    []int32 // first atom index per cell, -1 if empty
+	next     []int32 // next atom in cell chain
+	pairs    [][2]int32
+}
+
+func newCellList(box, cutoff float64) *cellList {
+	perSide := int(box / cutoff)
+	if perSide < 1 {
+		perSide = 1
+	}
+	c := &cellList{
+		box:      box,
+		perSide:  perSide,
+		cellSize: box / float64(perSide),
+		heads:    make([]int32, perSide*perSide*perSide),
+	}
+	c.buildPairs()
+	return c
+}
+
+func (c *cellList) buildPairs() {
+	n := c.perSide
+	// Half shell: 13 of the 26 neighbor offsets; the self pair is (a,a).
+	offsets := [][3]int{
+		{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+		{1, 1, 0}, {1, -1, 0}, {1, 0, 1}, {1, 0, -1},
+		{0, 1, 1}, {0, 1, -1},
+		{1, 1, 1}, {1, 1, -1}, {1, -1, 1}, {1, -1, -1},
+	}
+	idx := func(x, y, z int) int32 {
+		x = (x%n + n) % n
+		y = (y%n + n) % n
+		z = (z%n + n) % n
+		return int32(x + n*(y+n*z))
+	}
+	seen := make(map[[2]int32]bool)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				a := idx(x, y, z)
+				c.pairs = append(c.pairs, [2]int32{a, a})
+				for _, o := range offsets {
+					b := idx(x+o[0], y+o[1], z+o[2])
+					if a == b {
+						continue // tiny boxes: offset wraps onto self
+					}
+					lo, hi := a, b
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					if seen[[2]int32{lo, hi}] {
+						continue // tiny boxes: two offsets, one cell
+					}
+					seen[[2]int32{lo, hi}] = true
+					c.pairs = append(c.pairs, [2]int32{a, b})
+				}
+			}
+		}
+	}
+}
+
+func (c *cellList) cellOf(p fixp.Vec) int {
+	ix := int(p.X / c.cellSize)
+	iy := int(p.Y / c.cellSize)
+	iz := int(p.Z / c.cellSize)
+	// Guard the upper boundary (positions exactly at Box wrap to 0).
+	if ix >= c.perSide {
+		ix = c.perSide - 1
+	}
+	if iy >= c.perSide {
+		iy = c.perSide - 1
+	}
+	if iz >= c.perSide {
+		iz = c.perSide - 1
+	}
+	return ix + c.perSide*(iy+c.perSide*iz)
+}
+
+// build (re)assigns all atoms to cells.
+func (c *cellList) build(pos []fixp.Vec) {
+	if len(c.next) < len(pos) {
+		c.next = make([]int32, len(pos))
+	}
+	for i := range c.heads {
+		c.heads[i] = -1
+	}
+	for i, p := range pos {
+		cell := c.cellOf(p)
+		c.next[i] = c.heads[cell]
+		c.heads[cell] = int32(i)
+	}
+}

@@ -1,0 +1,58 @@
+package md
+
+import "math"
+
+// Step advances the system one velocity-Verlet time step of DT
+// femtoseconds: the same integrate-then-export cycle the GCs run per
+// Section II-C (forces in, integration, new positions out).
+func (s *System) Step() {
+	const half = 0.5 * DT * KcalPerMolToAccel / Mass
+	for i := range s.Pos {
+		v := s.Vel[i]
+		f := s.Force[i]
+		v.X += half * f.X
+		v.Y += half * f.Y
+		v.Z += half * f.Z
+		s.Vel[i] = v
+		p := s.Pos[i]
+		p.X = wrap(p.X+DT*v.X, s.Box)
+		p.Y = wrap(p.Y+DT*v.Y, s.Box)
+		p.Z = wrap(p.Z+DT*v.Z, s.Box)
+		s.Pos[i] = p
+	}
+	s.ComputeForces()
+	for i := range s.Vel {
+		v := s.Vel[i]
+		f := s.Force[i]
+		v.X += half * f.X
+		v.Y += half * f.Y
+		v.Z += half * f.Z
+		s.Vel[i] = v
+	}
+	s.Steps++
+}
+
+// Run advances n steps.
+func (s *System) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Rescale applies a velocity-rescaling thermostat pulling the kinetic
+// temperature toward tempK with strength alpha in (0,1]; used to
+// equilibrate freshly built systems before measurement.
+func (s *System) Rescale(tempK, alpha float64) {
+	t := s.Temperature()
+	if t <= 0 {
+		return
+	}
+	lambda := 1 + alpha*(tempK/t-1)
+	if lambda < 0.25 {
+		lambda = 0.25
+	}
+	scale := math.Sqrt(lambda)
+	for i := range s.Vel {
+		s.Vel[i] = s.Vel[i].Scale(scale)
+	}
+}

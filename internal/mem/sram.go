@@ -1,0 +1,152 @@
+// Package mem models the globally addressable on-chip SRAM blocks paired
+// with each Geometry Core, including the counted-write / blocking-read
+// synchronization of Section III-A: every quad (four 32-bit words) has an
+// associated 8-bit hardware counter; counted remote writes update the quad
+// and atomically increment its counter, and a blocking read of the quad
+// stalls until the counter reaches the threshold specified by the read.
+//
+// The SRAM itself is a pure state machine — waiters fire synchronously when
+// their threshold is reached — so the surrounding timing model (the GC and
+// memory-port latencies) stays in the chip simulator where it belongs.
+package mem
+
+import "fmt"
+
+// QuadBytes is the size of one counted quad: four 32-bit words.
+const QuadBytes = 16
+
+// BlockKB is the SRAM block size paired with each GC (Section II-B).
+const BlockKB = 128
+
+// QuadsPerBlock is the quad count of a 128 KB block: 8192.
+const QuadsPerBlock = BlockKB * 1024 / QuadBytes
+
+type waiter struct {
+	threshold uint8
+	fn        func([4]uint32)
+}
+
+// SRAM is one memory block with per-quad counters.
+type SRAM struct {
+	quads    [][4]uint32
+	counters []uint8
+	waiters  map[uint32][]waiter
+
+	// CountedWrites and Wakeups are event counters for traffic accounting.
+	CountedWrites uint64
+	Wakeups       uint64
+}
+
+// NewSRAM builds a block holding quadCount quads (use QuadsPerBlock for the
+// hardware size; tests use smaller blocks).
+func NewSRAM(quadCount int) *SRAM {
+	if quadCount <= 0 {
+		panic("mem: quad count must be positive")
+	}
+	return &SRAM{
+		quads:    make([][4]uint32, quadCount),
+		counters: make([]uint8, quadCount),
+		waiters:  make(map[uint32][]waiter),
+	}
+}
+
+// Quads reports the block's capacity.
+func (s *SRAM) Quads() int { return len(s.quads) }
+
+func (s *SRAM) check(q uint32) {
+	if int(q) >= len(s.quads) {
+		panic(fmt.Sprintf("mem: quad address %d out of range (%d quads)", q, len(s.quads)))
+	}
+}
+
+// ReadQuad returns the current quad contents without synchronization.
+func (s *SRAM) ReadQuad(q uint32) [4]uint32 {
+	s.check(q)
+	return s.quads[q]
+}
+
+// Counter returns the quad's counter value.
+func (s *SRAM) Counter(q uint32) uint8 {
+	s.check(q)
+	return s.counters[q]
+}
+
+// WriteQuad stores data without touching the counter.
+func (s *SRAM) WriteQuad(q uint32, data [4]uint32) {
+	s.check(q)
+	s.quads[q] = data
+}
+
+// ClearQuad zeroes the quad and its counter — what integration software does
+// before reusing an accumulation slot for the next time step.
+func (s *SRAM) ClearQuad(q uint32) {
+	s.check(q)
+	s.quads[q] = [4]uint32{}
+	s.counters[q] = 0
+}
+
+// CountedWrite stores data and atomically increments the quad counter,
+// waking any blocking reads whose threshold is now met. The 8-bit counter
+// wraps, as in hardware; software picks thresholds below 256.
+func (s *SRAM) CountedWrite(q uint32, data [4]uint32) uint8 {
+	s.check(q)
+	s.quads[q] = data
+	return s.bump(q)
+}
+
+// CountedAccum adds data word-wise (two's-complement) into the quad and
+// increments the counter — the per-atom force accumulation form.
+func (s *SRAM) CountedAccum(q uint32, data [4]uint32) uint8 {
+	s.check(q)
+	for i := range data {
+		s.quads[q][i] += data[i]
+	}
+	return s.bump(q)
+}
+
+func (s *SRAM) bump(q uint32) uint8 {
+	s.CountedWrites++
+	s.counters[q]++
+	c := s.counters[q]
+	if ws := s.waiters[q]; len(ws) > 0 {
+		keep := ws[:0]
+		for _, w := range ws {
+			if c >= w.threshold {
+				s.Wakeups++
+				w.fn(s.quads[q])
+			} else {
+				keep = append(keep, w)
+			}
+		}
+		if len(keep) == 0 {
+			delete(s.waiters, q)
+		} else {
+			s.waiters[q] = keep
+		}
+	}
+	return c
+}
+
+// BlockingRead delivers the quad to fn once the quad counter has reached
+// threshold. If already satisfied it fires synchronously and returns true
+// ("from the GC's point of view, this operation is no different than a
+// high-latency read"); otherwise the read stalls and fn fires inside the
+// CountedWrite/CountedAccum that satisfies it.
+func (s *SRAM) BlockingRead(q uint32, threshold uint8, fn func([4]uint32)) bool {
+	s.check(q)
+	if s.counters[q] >= threshold {
+		fn(s.quads[q])
+		return true
+	}
+	s.waiters[q] = append(s.waiters[q], waiter{threshold: threshold, fn: fn})
+	return false
+}
+
+// PendingReads reports how many blocking reads are stalled (diagnostics).
+func (s *SRAM) PendingReads() int {
+	n := 0
+	for _, ws := range s.waiters {
+		n += len(ws)
+	}
+	return n
+}

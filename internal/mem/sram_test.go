@@ -1,0 +1,177 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockGeometry(t *testing.T) {
+	// 128 KB of 16-byte quads = 8192 quads.
+	if QuadsPerBlock != 8192 {
+		t.Fatalf("QuadsPerBlock = %d, want 8192", QuadsPerBlock)
+	}
+	s := NewSRAM(QuadsPerBlock)
+	if s.Quads() != 8192 {
+		t.Fatalf("Quads() = %d", s.Quads())
+	}
+}
+
+func TestPlainReadWrite(t *testing.T) {
+	s := NewSRAM(16)
+	q := [4]uint32{1, 2, 3, 4}
+	s.WriteQuad(5, q)
+	if s.ReadQuad(5) != q {
+		t.Fatal("read-after-write mismatch")
+	}
+	if s.Counter(5) != 0 {
+		t.Fatal("plain write must not bump counter")
+	}
+}
+
+func TestCountedWriteIncrements(t *testing.T) {
+	s := NewSRAM(16)
+	for i := uint8(1); i <= 10; i++ {
+		if got := s.CountedWrite(3, [4]uint32{uint32(i)}); got != i {
+			t.Fatalf("counter = %d, want %d", got, i)
+		}
+	}
+	if s.ReadQuad(3)[0] != 10 {
+		t.Fatal("counted write did not overwrite data")
+	}
+}
+
+func TestCountedAccumAdds(t *testing.T) {
+	s := NewSRAM(16)
+	s.CountedAccum(0, [4]uint32{10, ^uint32(4), 0, 1}) // -5 in word 1
+	s.CountedAccum(0, [4]uint32{1, 2, 3, 4})
+	got := s.ReadQuad(0)
+	want := [4]uint32{11, ^uint32(2), 3, 5} // -3 in word 1
+	if got != want {
+		t.Fatalf("accumulated quad = %v, want %v", got, want)
+	}
+	if s.Counter(0) != 2 {
+		t.Fatalf("counter = %d, want 2", s.Counter(0))
+	}
+}
+
+func TestCounterWraps(t *testing.T) {
+	s := NewSRAM(1)
+	for i := 0; i < 256; i++ {
+		s.CountedWrite(0, [4]uint32{})
+	}
+	if s.Counter(0) != 0 {
+		t.Fatalf("8-bit counter should wrap to 0, got %d", s.Counter(0))
+	}
+}
+
+func TestBlockingReadImmediate(t *testing.T) {
+	s := NewSRAM(4)
+	s.CountedWrite(1, [4]uint32{42})
+	fired := false
+	ok := s.BlockingRead(1, 1, func(q [4]uint32) {
+		fired = true
+		if q[0] != 42 {
+			t.Errorf("data = %v", q)
+		}
+	})
+	if !ok || !fired {
+		t.Fatal("satisfied blocking read should fire synchronously")
+	}
+}
+
+func TestBlockingReadStallsUntilThreshold(t *testing.T) {
+	s := NewSRAM(4)
+	var got [4]uint32
+	fired := 0
+	ok := s.BlockingRead(2, 3, func(q [4]uint32) { fired++; got = q })
+	if ok || fired != 0 {
+		t.Fatal("unsatisfied read should stall")
+	}
+	s.CountedAccum(2, [4]uint32{1, 0, 0, 0})
+	s.CountedAccum(2, [4]uint32{1, 0, 0, 0})
+	if fired != 0 {
+		t.Fatal("read fired below threshold")
+	}
+	s.CountedAccum(2, [4]uint32{1, 0, 0, 0})
+	if fired != 1 {
+		t.Fatal("read did not fire at threshold")
+	}
+	// The integrator use case: the read sees the fully accumulated value.
+	if got[0] != 3 {
+		t.Fatalf("woken read saw %v, want accumulated 3", got)
+	}
+	if s.PendingReads() != 0 {
+		t.Fatal("waiter not cleaned up")
+	}
+}
+
+func TestMultipleWaitersDifferentThresholds(t *testing.T) {
+	s := NewSRAM(4)
+	order := []int{}
+	s.BlockingRead(0, 1, func([4]uint32) { order = append(order, 1) })
+	s.BlockingRead(0, 2, func([4]uint32) { order = append(order, 2) })
+	s.BlockingRead(0, 3, func([4]uint32) { order = append(order, 3) })
+	s.CountedWrite(0, [4]uint32{})
+	s.CountedWrite(0, [4]uint32{})
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("wake order = %v, want [1 2]", order)
+	}
+	if s.PendingReads() != 1 {
+		t.Fatalf("pending = %d, want 1", s.PendingReads())
+	}
+	s.CountedWrite(0, [4]uint32{})
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("wake order = %v", order)
+	}
+}
+
+func TestClearQuadResetsBoth(t *testing.T) {
+	s := NewSRAM(4)
+	s.CountedWrite(1, [4]uint32{9, 9, 9, 9})
+	s.ClearQuad(1)
+	if s.ReadQuad(1) != ([4]uint32{}) || s.Counter(1) != 0 {
+		t.Fatal("ClearQuad incomplete")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := NewSRAM(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access should panic")
+		}
+	}()
+	s.ReadQuad(4)
+}
+
+func TestAccumCommutative(t *testing.T) {
+	// Force summation must not depend on arrival order (property test).
+	f := func(vals []uint32) bool {
+		a, b := NewSRAM(1), NewSRAM(1)
+		for _, v := range vals {
+			a.CountedAccum(0, [4]uint32{v, v * 3, ^v, 1})
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			v := vals[i]
+			b.CountedAccum(0, [4]uint32{v, v * 3, ^v, 1})
+		}
+		return a.ReadQuad(0) == b.ReadQuad(0) && a.Counter(0) == b.Counter(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := NewSRAM(4)
+	s.BlockingRead(0, 2, func([4]uint32) {})
+	s.CountedWrite(0, [4]uint32{})
+	s.CountedWrite(0, [4]uint32{})
+	s.CountedAccum(1, [4]uint32{})
+	if s.CountedWrites != 3 {
+		t.Fatalf("CountedWrites = %d, want 3", s.CountedWrites)
+	}
+	if s.Wakeups != 1 {
+		t.Fatalf("Wakeups = %d, want 1", s.Wakeups)
+	}
+}

@@ -1,0 +1,170 @@
+// Package packet defines the Anton 3 network packet format. Packets are
+// small and fixed-size: one or two flits, each flit 192 bits (a 64-bit
+// header and a 128-bit payload), enabling fast virtual cut-through flow
+// control with 8-flit-per-VC router input queues (Section III-B).
+package packet
+
+import (
+	"fmt"
+
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+)
+
+// Flit geometry (Section III-B).
+const (
+	FlitBits        = 192
+	HeaderBits      = 64
+	PayloadBits     = 128
+	HeaderBytes     = HeaderBits / 8
+	PayloadBytes    = PayloadBits / 8
+	PayloadWords    = 4
+	MaxFlitsPerPkt  = 2
+	InputQueueFlits = 8 // per-VC router input queue depth
+)
+
+// Class separates the two protocol traffic classes whose independence
+// avoids request-response deadlock.
+type Class uint8
+
+// Traffic classes.
+const (
+	Request Class = iota
+	Response
+)
+
+func (c Class) String() string {
+	if c == Request {
+		return "request"
+	}
+	return "response"
+}
+
+// Type identifies what a packet carries.
+type Type uint8
+
+// Packet types used by the MD application protocol.
+const (
+	// CountedWrite writes a quad to remote SRAM and increments the quad's
+	// counter (Section III-A). Request class.
+	CountedWrite Type = iota
+	// CountedAccum is a counted write that accumulates (adds) into the
+	// quad instead of overwriting — the force-summation form.
+	CountedAccum
+	// ReadReq asks a remote SRAM for a quad. Request class.
+	ReadReq
+	// ReadResp returns the quad. Response class.
+	ReadResp
+	// Position carries an atom position (stream-set export). Request class.
+	Position
+	// Force carries a computed force back to the atom's GC. Request class
+	// (the MD protocol architects almost all traffic as requests).
+	Force
+	// Fence is a network fence packet (Section V). Request class.
+	Fence
+	// EndOfStep is the special packet software sends down each channel to
+	// advance the particle cache time step counter (Section IV-B1).
+	EndOfStep
+)
+
+func (t Type) String() string {
+	switch t {
+	case CountedWrite:
+		return "counted-write"
+	case CountedAccum:
+		return "counted-accum"
+	case ReadReq:
+		return "read-req"
+	case ReadResp:
+		return "read-resp"
+	case Position:
+		return "position"
+	case Force:
+		return "force"
+	case Fence:
+		return "fence"
+	case EndOfStep:
+		return "end-of-step"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Class returns the traffic class for the type.
+func (t Type) Class() Class {
+	if t == ReadResp {
+		return Response
+	}
+	return Request
+}
+
+// CoreID locates a Geometry Core (or other endpoint) on a chip: the tile
+// and which of the tile's two GCs.
+type CoreID struct {
+	Tile topo.MeshCoord
+	GC   int // 0 or 1
+}
+
+func (c CoreID) String() string { return fmt.Sprintf("%v.gc%d", c.Tile, c.GC) }
+
+// Packet is a network packet. Fields that a real header squeezes into 64
+// bits are kept as plain struct members; WireHeaderBytes accounts for the
+// on-wire cost.
+type Packet struct {
+	ID   uint64
+	Type Type
+
+	SrcNode topo.Coord
+	DstNode topo.Coord
+	SrcCore CoreID
+	DstCore CoreID
+
+	// Addr is the SRAM quad address for write/read types.
+	Addr uint32
+	// AtomID tags position/force packets (one of the "static fields" the
+	// particle cache replaces with a cache index on hits).
+	AtomID uint32
+	// Threshold is the blocking-read counter threshold for ReadReq.
+	Threshold uint8
+
+	// Payload carries up to four 32-bit words; Words says how many are
+	// meaningful. Packets with Words == 0 are single-flit (header only).
+	Payload [PayloadWords]uint32
+	Words   int
+
+	// Order is the dimension order assigned at injection (requests get a
+	// random one of the six; responses are always XYZ).
+	Order topo.DimOrder
+
+	// FenceID and FenceHops parameterize fence packets.
+	FenceID   int
+	FenceHops int
+
+	// Injected is when the packet entered the network, for latency
+	// accounting.
+	Injected sim.Time
+}
+
+// Flits returns the packet's flit count: one for header-only packets, two
+// when a payload is attached.
+func (p *Packet) Flits() int {
+	if p.Words == 0 {
+		return 1
+	}
+	return 2
+}
+
+// WireBits is the on-chip cost of the packet in bits.
+func (p *Packet) WireBits() int { return p.Flits() * FlitBits }
+
+// Quad returns the payload as a quad value.
+func (p *Packet) Quad() [4]uint32 { return p.Payload }
+
+// SetQuad installs a full quad payload.
+func (p *Packet) SetQuad(q [4]uint32) {
+	p.Payload = q
+	p.Words = PayloadWords
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %s %v->%v", p.ID, p.Type, p.SrcNode, p.DstNode)
+}

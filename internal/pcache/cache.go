@@ -1,0 +1,232 @@
+package pcache
+
+import "fmt"
+
+// Predictor selects the extrapolation order — an ablation knob; hardware
+// is quadratic. The zero value is the hardware behavior.
+type Predictor uint8
+
+// Predictor orders.
+const (
+	PredictQuadratic Predictor = iota // x̂ = D0 + D1 + D2 (hardware)
+	PredictLinear                     // x̂ = D0 + D1
+	PredictConstant                   // x̂ = D0
+)
+
+// Config sizes a particle cache. The production configuration is
+// DefaultConfig: 1024 entries, 4-way set associative (Section IV-B1).
+type Config struct {
+	Entries int // total entries; must be Ways * power-of-two sets
+	Ways    int
+	// EvictThreshold is the age (in time steps since last hit) beyond
+	// which a conflicting packet may evict an entry. The paper calls this
+	// "a specific (configurable) threshold".
+	EvictThreshold uint32
+	// Predictor is the extrapolation order (ablation; default quadratic).
+	Predictor Predictor
+}
+
+// DefaultConfig matches the Anton 3 hardware.
+var DefaultConfig = Config{Entries: 1024, Ways: 4, EvictThreshold: 2}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if c.Ways <= 0 || c.Entries <= 0 {
+		return fmt.Errorf("pcache: entries and ways must be positive")
+	}
+	if c.Entries%c.Ways != 0 {
+		return fmt.Errorf("pcache: %d entries not divisible by %d ways", c.Entries, c.Ways)
+	}
+	sets := c.Entries / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("pcache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+type entry struct {
+	valid   bool
+	tag     uint32 // atom ID (stands in for the packet's static fields)
+	lastHit uint32 // time step counter value at last hit
+	est     Extrapolator
+}
+
+// Stats counts cache outcomes for the compression experiments.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Allocs     uint64
+	Evictions  uint64
+	AllocFails uint64 // miss with no allocatable way: packet goes uncompressed
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is one side of a particle cache pair. Both the send-side and the
+// receive-side instantiate identical Caches; determinism of every method is
+// what keeps them synchronized.
+type Cache struct {
+	cfg   Config
+	sets  []entry // sets*ways entries, way-major within a set
+	nsets int
+	step  uint32 // time step counter, incremented by end-of-step packets
+	stats Stats
+}
+
+// New builds an empty cache. It panics on an invalid config (a construction
+// bug, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cache{
+		cfg:   cfg,
+		sets:  make([]entry, cfg.Entries),
+		nsets: cfg.Entries / cfg.Ways,
+	}
+}
+
+// Stats returns a copy of the outcome counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Step returns the current time step counter.
+func (c *Cache) Step() uint32 { return c.step }
+
+// Tick advances the time step counter. In hardware this happens upon
+// receipt of a special end-of-step packet that software sends down each
+// channel; both cache sides therefore tick at the same point in the stream.
+func (c *Cache) Tick() { c.step++ }
+
+// setIndex hashes an atom ID to a set. Both sides use the same hash; any
+// deterministic function works, and a multiplicative hash avoids the
+// pathological striding a plain modulus would suffer for lattice-ordered
+// atom IDs.
+func (c *Cache) setIndex(id uint32) int {
+	h := id * 2654435761
+	return int(h>>16) & (c.nsets - 1)
+}
+
+// AccessResult describes what the send side should put on the wire.
+type AccessResult struct {
+	// Hit: transmit a compressed packet carrying Index and Residual.
+	Hit bool
+	// Index is the entry number (set*ways + way), the cache index field of
+	// the compressed position packet.
+	Index uint16
+	// Residual is pos - prediction, per coordinate (valid when Hit).
+	Residual [3]int32
+	// Allocated reports that a miss allocated a new entry (the full packet
+	// must be sent so the receive side can allocate identically).
+	Allocated bool
+}
+
+// Access performs the cache transaction for an outgoing (send side) or
+// arriving full (receive side) position packet. The two sides perform
+// identical transactions because full packets carry the atom ID and
+// position, and compressed packets are applied via ApplyCompressed instead.
+func (c *Cache) Access(id uint32, pos [3]int32) AccessResult {
+	set := c.setIndex(id)
+	base := set * c.cfg.Ways
+
+	// Hit path.
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := &c.sets[base+w]
+		if e.valid && e.tag == id {
+			c.stats.Hits++
+			e.lastHit = c.step
+			return AccessResult{
+				Hit:      true,
+				Index:    uint16(base + w),
+				Residual: e.est.ResidualOrder(pos, c.cfg.Predictor),
+			}
+		}
+	}
+	c.stats.Misses++
+
+	// Miss: allocate an invalid way if present.
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := &c.sets[base+w]
+		if !e.valid {
+			c.allocate(e, id, pos)
+			return AccessResult{Allocated: true}
+		}
+	}
+
+	// All ways valid: evict the stalest way whose age exceeds the
+	// threshold (Section IV-B1), deterministically preferring the lowest
+	// way on ties so both sides choose the same victim.
+	victim := -1
+	var victimAge uint32
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := &c.sets[base+w]
+		age := c.step - e.lastHit
+		if age > c.cfg.EvictThreshold && age > victimAge {
+			victim, victimAge = w, age
+		}
+	}
+	if victim < 0 {
+		c.stats.AllocFails++
+		return AccessResult{}
+	}
+	c.stats.Evictions++
+	c.allocate(&c.sets[base+victim], id, pos)
+	return AccessResult{Allocated: true}
+}
+
+func (c *Cache) allocate(e *entry, id uint32, pos [3]int32) {
+	c.stats.Allocs++
+	e.valid = true
+	e.tag = id
+	e.lastHit = c.step
+	e.est.Init(pos)
+}
+
+// Contains reports whether id currently has a valid entry, without
+// disturbing cache state (a diagnostic probe; hardware has no such port).
+func (c *Cache) Contains(id uint32) bool {
+	base := c.setIndex(id) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := &c.sets[base+w]
+		if e.valid && e.tag == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyCompressed is the receive-side transaction for a compressed position
+// packet: look up the entry by index, reconstruct the position from the
+// residual, and return the atom ID recovered from the entry's static fields.
+func (c *Cache) ApplyCompressed(index uint16, residual [3]int32) (id uint32, pos [3]int32) {
+	if int(index) >= len(c.sets) {
+		panic(fmt.Sprintf("pcache: compressed index %d out of range", index))
+	}
+	e := &c.sets[index]
+	if !e.valid {
+		panic("pcache: compressed packet addressed an invalid entry (caches desynchronized)")
+	}
+	c.stats.Hits++
+	e.lastHit = c.step
+	return e.tag, e.est.ReconstructOrder(residual, c.cfg.Predictor)
+}
+
+// Equal reports whether two caches have identical state. Used by tests and
+// by channel self-checks to assert the send/receive invariant.
+func (c *Cache) Equal(o *Cache) bool {
+	if c.cfg != o.cfg || c.step != o.step || len(c.sets) != len(o.sets) {
+		return false
+	}
+	for i := range c.sets {
+		if c.sets[i] != o.sets[i] {
+			return false
+		}
+	}
+	return true
+}

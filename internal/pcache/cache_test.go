@@ -1,0 +1,239 @@
+package pcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{Entries: 64, Ways: 4, EvictThreshold: 2}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Entries: 0, Ways: 4},
+		{Entries: 64, Ways: 0},
+		{Entries: 65, Ways: 4}, // not divisible
+		{Entries: 48, Ways: 4}, // 12 sets, not power of two
+		{Entries: -4, Ways: 4},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: config %+v should be invalid", i, c)
+		}
+	}
+}
+
+func TestDefaultConfigIsHardware(t *testing.T) {
+	// Section IV-B1: four-way set associative with 1024 total entries.
+	if DefaultConfig.Entries != 1024 || DefaultConfig.Ways != 4 {
+		t.Fatalf("default config %+v does not match the paper", DefaultConfig)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(testConfig())
+	pos := [3]int32{100, 200, 300}
+	res := c.Access(7, pos)
+	if res.Hit || !res.Allocated {
+		t.Fatalf("first access: %+v, want allocation miss", res)
+	}
+	res = c.Access(7, pos)
+	if !res.Hit {
+		t.Fatalf("second access missed")
+	}
+	if res.Residual != [3]int32{} {
+		t.Fatalf("stationary residual = %v", res.Residual)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Allocs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEvictionRequiresStaleness(t *testing.T) {
+	cfg := Config{Entries: 4, Ways: 4, EvictThreshold: 2} // one set
+	c := New(cfg)
+	for id := uint32(0); id < 4; id++ {
+		c.Access(id, [3]int32{int32(id), 0, 0})
+	}
+	// Set is full and fresh: a conflicting atom must not evict.
+	res := c.Access(99, [3]int32{9, 9, 9})
+	if res.Allocated || res.Hit {
+		t.Fatalf("fresh entries evicted: %+v", res)
+	}
+	if c.Stats().AllocFails != 1 {
+		t.Fatalf("AllocFails = %d, want 1", c.Stats().AllocFails)
+	}
+	// Age the entries past the threshold; hit atom 0 to keep it fresh.
+	for i := 0; i < 3; i++ {
+		c.Tick()
+	}
+	c.Access(0, [3]int32{0, 0, 0})
+	res = c.Access(99, [3]int32{9, 9, 9})
+	if !res.Allocated {
+		t.Fatalf("stale entry not evicted: %+v", res)
+	}
+	// Atom 0 must have survived (it was fresh); one of 1..3 was evicted.
+	if !c.Contains(0) {
+		t.Fatal("fresh atom 0 was evicted")
+	}
+}
+
+func TestEvictPrefersStalest(t *testing.T) {
+	cfg := Config{Entries: 4, Ways: 4, EvictThreshold: 0}
+	c := New(cfg)
+	c.Access(0, [3]int32{})
+	c.Tick()
+	c.Access(1, [3]int32{})
+	c.Tick()
+	c.Access(2, [3]int32{})
+	c.Access(3, [3]int32{})
+	c.Tick()
+	// Ages: atom0=3, atom1=2, atom2=atom3=1. Threshold 0 -> all evictable;
+	// atom 0 is stalest.
+	res := c.Access(50, [3]int32{})
+	if !res.Allocated {
+		t.Fatal("no eviction")
+	}
+	if c.Contains(0) {
+		t.Fatal("stalest entry survived")
+	}
+	for id := uint32(1); id < 4; id++ {
+		if !c.Contains(id) {
+			t.Fatalf("fresher entry %d was evicted", id)
+		}
+	}
+}
+
+func TestApplyCompressedPanicsOnDesync(t *testing.T) {
+	c := New(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ApplyCompressed on invalid entry should panic")
+		}
+	}()
+	c.ApplyCompressed(0, [3]int32{})
+}
+
+func TestPairLossless(t *testing.T) {
+	// The core property of Section IV-B: "the packet delivered to network
+	// endpoints will be the same regardless of whether that packet hit in
+	// any particle caches along its route."
+	p := NewPair(testConfig())
+	f := func(ids []uint16, jump int16) bool {
+		pos := map[uint32][3]int32{}
+		for step := 0; step < 4; step++ {
+			for _, id16 := range ids {
+				id := uint32(id16 % 300)
+				cur := pos[id]
+				cur[0] += int32(jump)
+				cur[1] += int32(id16)
+				cur[2] -= int32(jump) * 2
+				pos[id] = cur
+				gid, gpos, _ := p.Transmit(id, cur)
+				if gid != id || gpos != cur {
+					return false
+				}
+			}
+			p.Tick()
+		}
+		return p.InSync()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairStaysInSyncUnderChurn(t *testing.T) {
+	// Small cache, many atoms: constant eviction traffic must not break
+	// synchronization.
+	p := NewPair(Config{Entries: 16, Ways: 4, EvictThreshold: 0})
+	x := int32(0)
+	for step := 0; step < 20; step++ {
+		for id := uint32(0); id < 100; id++ {
+			x += 13
+			gid, gpos, _ := p.Transmit(id, [3]int32{x, -x, x * 2})
+			if gid != id || gpos != [3]int32{x, -x, x * 2} {
+				t.Fatal("lossless property broken under churn")
+			}
+		}
+		p.Tick()
+		if !p.InSync() {
+			t.Fatalf("desynchronized at step %d", step)
+		}
+	}
+}
+
+func TestHitRateImprovesWithWarmCache(t *testing.T) {
+	p := NewPair(DefaultConfig)
+	// 500 atoms, well under 1024 entries: after the first step everything
+	// hits and residuals shrink.
+	move := func(id uint32, step int32) [3]int32 {
+		return [3]int32{int32(id)*1000 + step*40, step * 40, -step * 40}
+	}
+	for step := int32(0); step < 5; step++ {
+		for id := uint32(0); id < 500; id++ {
+			p.Transmit(id, move(id, step))
+		}
+		p.Tick()
+	}
+	st := p.SendStats()
+	// 1 allocation miss per atom, then 4 hits each.
+	if st.Misses != 500 || st.Hits != 2000 {
+		t.Fatalf("stats = %+v, want 500 misses / 2000 hits", st)
+	}
+	if hr := st.HitRate(); hr < 0.79 || hr > 0.81 {
+		t.Fatalf("hit rate = %v, want 0.8", hr)
+	}
+}
+
+func TestWorkingSetBeyondCapacityThrashes(t *testing.T) {
+	// The Figure 9a explanation: "more atoms per node result in a higher
+	// cache miss rate". 4096 atoms through a 1024-entry cache with a tight
+	// threshold must show a much lower hit rate than 512 atoms.
+	run := func(atoms uint32) float64 {
+		p := NewPair(DefaultConfig)
+		for step := int32(0); step < 6; step++ {
+			for id := uint32(0); id < atoms; id++ {
+				p.Transmit(id, [3]int32{int32(id) + step*100, 0, 0})
+			}
+			p.Tick()
+		}
+		return p.SendStats().HitRate()
+	}
+	small, large := run(512), run(4096)
+	if small < 0.8 {
+		t.Fatalf("small working set hit rate = %v, want > 0.8", small)
+	}
+	if large > small/2 {
+		t.Fatalf("large working set hit rate %v not much worse than %v", large, small)
+	}
+}
+
+func TestStatsHitRateZero(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty stats hit rate should be 0")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config should panic")
+		}
+	}()
+	New(Config{Entries: 3, Ways: 2})
+}
+
+func BenchmarkTransmitHit(b *testing.B) {
+	p := NewPair(DefaultConfig)
+	p.Transmit(1, [3]int32{100, 200, 300})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Transmit(1, [3]int32{100 + int32(i), 200, 300})
+	}
+}

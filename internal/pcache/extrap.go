@@ -1,0 +1,130 @@
+// Package pcache implements the Anton 3 particle cache (Section IV-B): a
+// pair of synchronized caches at the two ends of an I/O channel that lets
+// the sender transmit only the difference between an atom's true position
+// and a quadratic extrapolation from its history. Both sides see the same
+// access stream in the same order and run identical logic, so their state
+// never diverges and no coherence traffic is needed.
+package pcache
+
+// Extrapolator is the per-entry, per-coordinate quadratic position
+// predictor, stored as finite differences (Section IV-B2):
+//
+//	D0[t] = x[t]
+//	D1[t] = x[t] -   x[t-1]
+//	D2[t] = x[t] - 2*x[t-1] + x[t-2]
+//
+// The estimate is x̂[t] = D0[t-1] + D1[t-1] + D2[t-1], which equals the
+// textbook quadratic extrapolation 3x[t-1] - 3x[t-2] + x[t-3] once three
+// samples of history exist. D1 and D2 are stored in 12 bits per coordinate;
+// values outside [-2048, 2047] wrap identically on both sides of the
+// channel, so prediction quality degrades for fast atoms but synchronization
+// never breaks. A freshly allocated entry has D1 = D2 = 0 and so starts as a
+// constant predictor, becomes linear after one update and quadratic after
+// two, with no special-case handling — exactly the property the paper calls
+// out.
+type Extrapolator struct {
+	D0 [3]int32
+	D1 [3]int16 // 12-bit storage, sign-extended
+	D2 [3]int16 // 12-bit storage, sign-extended
+}
+
+// wrap12 reduces v to a 12-bit two's-complement value in [-2048, 2047].
+func wrap12(v int32) int16 {
+	return int16(v << 20 >> 20)
+}
+
+// Init resets the estimator state from a just-allocated position: constant
+// prediction, zero differences.
+func (e *Extrapolator) Init(pos [3]int32) {
+	e.D0 = pos
+	e.D1 = [3]int16{}
+	e.D2 = [3]int16{}
+}
+
+// Predict returns x̂[t] = D0 + D1 + D2 per coordinate.
+func (e *Extrapolator) Predict() [3]int32 { return e.predict(2) }
+
+func (e *Extrapolator) predict(order int) [3]int32 {
+	var p [3]int32
+	for c := 0; c < 3; c++ {
+		p[c] = e.D0[c]
+		if order >= 1 {
+			p[c] += int32(e.D1[c])
+		}
+		if order >= 2 {
+			p[c] += int32(e.D2[c])
+		}
+	}
+	return p
+}
+
+// Update advances the differences with the actual position:
+//
+//	D1[t] = x[t] - D0[t-1]
+//	D2[t] = x[t] - D0[t-1] - D1[t-1]
+//	D0[t] = x[t]
+func (e *Extrapolator) Update(pos [3]int32) {
+	for c := 0; c < 3; c++ {
+		d1 := pos[c] - e.D0[c]
+		d2 := d1 - int32(e.D1[c])
+		e.D1[c] = wrap12(d1)
+		e.D2[c] = wrap12(d2)
+		e.D0[c] = pos[c]
+	}
+}
+
+// Residual returns pos - Predict(), the value transmitted on a hit, and then
+// updates the history. Send side and receive side both call this indirectly
+// (the receive side adds the residual back to its own identical prediction).
+func (e *Extrapolator) Residual(pos [3]int32) [3]int32 {
+	return e.residual(pos, 2)
+}
+
+func (e *Extrapolator) residual(pos [3]int32, order int) [3]int32 {
+	p := e.predict(order)
+	var r [3]int32
+	for c := 0; c < 3; c++ {
+		r[c] = pos[c] - p[c]
+	}
+	e.Update(pos)
+	return r
+}
+
+// Reconstruct applies a received residual to the local prediction, recovers
+// the exact position, and updates the history. It is the receive-side dual
+// of Residual.
+func (e *Extrapolator) Reconstruct(residual [3]int32) [3]int32 {
+	return e.reconstruct(residual, 2)
+}
+
+func (e *Extrapolator) reconstruct(residual [3]int32, order int) [3]int32 {
+	p := e.predict(order)
+	var pos [3]int32
+	for c := 0; c < 3; c++ {
+		pos[c] = p[c] + residual[c]
+	}
+	e.Update(pos)
+	return pos
+}
+
+// orderOf maps a Predictor to an extrapolation order.
+func orderOf(p Predictor) int {
+	switch p {
+	case PredictConstant:
+		return 0
+	case PredictLinear:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ResidualOrder is Residual with a selectable predictor order (ablation).
+func (e *Extrapolator) ResidualOrder(pos [3]int32, p Predictor) [3]int32 {
+	return e.residual(pos, orderOf(p))
+}
+
+// ReconstructOrder is Reconstruct with a selectable predictor order.
+func (e *Extrapolator) ReconstructOrder(residual [3]int32, p Predictor) [3]int32 {
+	return e.reconstruct(residual, orderOf(p))
+}

@@ -1,0 +1,148 @@
+package pcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWrap12(t *testing.T) {
+	cases := []struct {
+		in   int32
+		want int16
+	}{
+		{0, 0}, {1, 1}, {-1, -1}, {2047, 2047}, {-2048, -2048},
+		{2048, -2048}, {-2049, 2047}, {4096, 0}, {1 << 20, 0},
+	}
+	for _, c := range cases {
+		if got := wrap12(c.in); got != c.want {
+			t.Errorf("wrap12(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestExtrapConstant(t *testing.T) {
+	var e Extrapolator
+	pos := [3]int32{1000000, -2000000, 3}
+	e.Init(pos)
+	// A stationary atom predicts exactly from the first step on.
+	for i := 0; i < 5; i++ {
+		r := e.Residual(pos)
+		if r != [3]int32{} {
+			t.Fatalf("constant trajectory residual = %v at step %d", r, i)
+		}
+	}
+}
+
+func TestExtrapLinearConvergesByThirdHit(t *testing.T) {
+	var e Extrapolator
+	x := [3]int32{5000, 5000, 5000}
+	d := [3]int32{40, -17, 3}
+	e.Init(x)
+	var residuals [][3]int32
+	for i := 0; i < 6; i++ {
+		for c := 0; c < 3; c++ {
+			x[c] += d[c]
+		}
+		residuals = append(residuals, e.Residual(x))
+	}
+	// Paper: constant -> linear -> quadratic with no special cases. For
+	// linear motion, hits 3+ must be exact.
+	for i := 2; i < len(residuals); i++ {
+		if residuals[i] != [3]int32{} {
+			t.Fatalf("linear trajectory residual %v at hit %d", residuals[i], i)
+		}
+	}
+	// Hit 1 residual equals the full step (constant prediction).
+	if residuals[0] != d {
+		t.Fatalf("first-hit residual = %v, want %v", residuals[0], d)
+	}
+}
+
+func TestExtrapQuadraticExact(t *testing.T) {
+	// x[t] = a t^2 + b t + c with small a, b: after enough history the
+	// quadratic predictor is exact.
+	var e Extrapolator
+	traj := func(tstep int32) [3]int32 {
+		return [3]int32{
+			3*tstep*tstep + 7*tstep + 100,
+			-2*tstep*tstep + 11*tstep - 50,
+			tstep * tstep,
+		}
+	}
+	e.Init(traj(0))
+	for ts := int32(1); ts < 8; ts++ {
+		r := e.Residual(traj(ts))
+		if ts >= 3 && r != [3]int32{} {
+			t.Fatalf("quadratic residual %v at t=%d", r, ts)
+		}
+	}
+}
+
+func TestExtrapMatchesPaperClosedForm(t *testing.T) {
+	// Once warmed with x[t-3..t-1], the prediction must equal
+	// 3x[t-1] - 3x[t-2] + x[t-3] as long as differences fit in 12 bits.
+	f := func(x0 int32, d1, d2, d3 int8) bool {
+		x1 := x0 + int32(d1)
+		x2 := x1 + int32(d2)
+		x3 := x2 + int32(d3)
+		var e Extrapolator
+		e.Init([3]int32{x0, x0, x0})
+		e.Update([3]int32{x1, x1, x1})
+		e.Update([3]int32{x2, x2, x2})
+		e.Update([3]int32{x3, x3, x3})
+		want := 3*x3 - 3*x2 + x1
+		return e.Predict() == [3]int32{want, want, want}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualReconstructDual(t *testing.T) {
+	// Two extrapolators fed identical histories: whatever residual one
+	// produces, the other must reconstruct the exact position — even when
+	// steps overflow the 12-bit difference storage.
+	f := func(seed int64, jumps []int16) bool {
+		var tx, rx Extrapolator
+		pos := [3]int32{int32(seed), int32(seed >> 16), int32(seed >> 32)}
+		tx.Init(pos)
+		rx.Init(pos)
+		for _, j := range jumps {
+			pos[0] += int32(j)
+			pos[1] -= int32(j) * 3 // exceeds 12 bits regularly
+			pos[2] += int32(j) * 17
+			r := tx.Residual(pos)
+			if rx.Reconstruct(r) != pos {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualSmallForSmoothMotion(t *testing.T) {
+	// The compression claim: for MD-like smooth motion (slowly varying
+	// velocity), residuals are much smaller than raw deltas.
+	var e Extrapolator
+	x := int32(1 << 20)
+	v := int32(900) // units/step, fits 12 bits
+	e.Init([3]int32{x, x, x})
+	maxResid := int32(0)
+	for ts := 0; ts < 50; ts++ {
+		v += int32(ts%5) - 2 // tiny acceleration wobble
+		x += v
+		r := e.Residual([3]int32{x, x, x})
+		if r[0] < 0 {
+			r[0] = -r[0]
+		}
+		if ts >= 3 && r[0] > maxResid {
+			maxResid = r[0]
+		}
+	}
+	if maxResid > 16 {
+		t.Fatalf("smooth-motion residual %d, want tiny vs delta ~900", maxResid)
+	}
+}

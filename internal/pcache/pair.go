@@ -1,0 +1,56 @@
+package pcache
+
+// Pair models one direction of an I/O channel: a send-side cache before the
+// channel and a receive-side cache after it (Figure 8). It exists so that
+// users (and tests) cannot accidentally drive the two sides with different
+// streams — the single Transmit entry point keeps them in lockstep.
+type Pair struct {
+	send *Cache
+	recv *Cache
+}
+
+// NewPair builds a synchronized cache pair.
+func NewPair(cfg Config) *Pair {
+	return &Pair{send: New(cfg), recv: New(cfg)}
+}
+
+// Transmission describes what crossed the channel for one position packet.
+type Transmission struct {
+	// Compressed reports that a compressed packet (cache index + residual)
+	// was sent instead of the full position packet.
+	Compressed bool
+	// Index and Residual are the compressed packet contents (valid when
+	// Compressed).
+	Index    uint16
+	Residual [3]int32
+}
+
+// Transmit sends one position packet through the channel and returns what
+// the receive side reconstructed along with the wire form. The returned id
+// and pos always equal the inputs — lossless compression — which tests
+// assert property-style.
+func (p *Pair) Transmit(id uint32, pos [3]int32) (gotID uint32, gotPos [3]int32, tx Transmission) {
+	res := p.send.Access(id, pos)
+	if res.Hit {
+		gotID, gotPos = p.recv.ApplyCompressed(res.Index, res.Residual)
+		return gotID, gotPos, Transmission{Compressed: true, Index: res.Index, Residual: res.Residual}
+	}
+	// Full packet: the receive side performs the identical transaction.
+	p.recv.Access(id, pos)
+	return id, pos, Transmission{}
+}
+
+// Tick marks the end of a time step on both sides (the end-of-step packet
+// traverses the same ordered channel, so both sides tick at the same point
+// in the stream).
+func (p *Pair) Tick() {
+	p.send.Tick()
+	p.recv.Tick()
+}
+
+// InSync reports whether both sides hold identical state. It is always true
+// after any sequence of Transmit/Tick calls; a false return means a bug.
+func (p *Pair) InSync() bool { return p.send.Equal(p.recv) }
+
+// SendStats returns the send-side outcome counters.
+func (p *Pair) SendStats() Stats { return p.send.Stats() }

@@ -1,0 +1,80 @@
+package router
+
+import (
+	"anton3/internal/packet"
+	"anton3/internal/route"
+	"anton3/internal/sim"
+)
+
+// SubRouter identifies the three microarchitecturally similar sub-router
+// roles of the dimension-sliced Core Router (Section III-B1, Figure 3).
+type SubRouter uint8
+
+// Core Router sub-router roles.
+const (
+	// TRTR connects the GCs and BCs to the network and provides high
+	// bandwidth for local communication between those endpoints.
+	TRTR SubRouter = iota
+	// URTR performs inter-tile routing along the U dimension.
+	URTR
+	// VRTR performs inter-tile routing along the V dimension; each Core
+	// Router instantiates two.
+	VRTR
+)
+
+func (s SubRouter) String() string {
+	switch s {
+	case TRTR:
+		return "TRTR"
+	case URTR:
+		return "URTR"
+	default:
+		return "VRTR"
+	}
+}
+
+// CoreRouterDesc summarizes the Core Router partitioning: four sub-routers,
+// each with at most four ports, following Kim's dimension-sliced approach.
+type CoreRouterDesc struct {
+	SubRouters []SubRouter
+	MaxPorts   int
+	VCs        int // two suffice on-chip: request + response
+}
+
+// CoreRouter describes the production Core Router.
+func CoreRouter() CoreRouterDesc {
+	return CoreRouterDesc{
+		SubRouters: []SubRouter{TRTR, URTR, VRTR, VRTR},
+		MaxPorts:   4,
+		VCs:        2,
+	}
+}
+
+// CoreHopLatency returns the Core Router per-hop latency for travel in U or
+// V: two cycles in the U direction, five in the V direction.
+func CoreHopLatency(clock sim.Clock, vertical bool) sim.Time {
+	if vertical {
+		return clock.Cycles(CoreVHopCycles)
+	}
+	return clock.Cycles(CoreUHopCycles)
+}
+
+// CoreNetworkLatency is the queuing-free traversal time for a packet
+// crossing uHops U-hops and vHops V-hops of the Core Network.
+func CoreNetworkLatency(clock sim.Clock, uHops, vHops int) sim.Time {
+	return clock.Cycles(int64(uHops)*CoreUHopCycles + int64(vHops)*CoreVHopCycles)
+}
+
+// NewEdgeRouter builds an Edge Router instance: 3-cycle hop latency, five
+// VCs (four request + one response), 8-flit input queues.
+func NewEdgeRouter(k *sim.Kernel, name string, clock sim.Clock, ports int, routeFn RouteFunc) *Router {
+	return New(k, Config{
+		Name:       name,
+		Ports:      ports,
+		VCs:        route.NumVCs,
+		QueueFlits: packet.InputQueueFlits,
+		HopCycles:  EdgeHopCycles,
+		Clock:      clock,
+		Route:      routeFn,
+	})
+}

@@ -1,0 +1,224 @@
+// Package router models the Anton 3 router microarchitectures at packet
+// granularity: bounded per-VC input queues (8 flits each), credit-based
+// virtual cut-through flow control, round-robin output arbitration, and the
+// control/datapath split that lets packet data lag its control information.
+//
+// Two concrete configurations are provided: the dimension-sliced Core Router
+// (four sub-routers — TRTR, URTR, 2x VRTR — with 2-cycle U hops and 5-cycle
+// V hops) and the Edge Router (3-cycle hops, 5 VCs). The full-machine
+// simulator uses these models for latency/contention constants and uses the
+// generic Router directly for small assembled networks in tests.
+package router
+
+import (
+	"fmt"
+
+	"anton3/internal/packet"
+	"anton3/internal/sim"
+)
+
+// Pipeline constants from Section III-B, in core clock cycles.
+const (
+	CoreUHopCycles       = 2  // Core Router per-hop latency in the U direction
+	CoreVHopCycles       = 5  // ... and in the V direction
+	EdgeHopCycles        = 3  // Edge Router per-hop latency
+	DatapathLag          = 2  // packet data lags its control information
+	FenceCountersPerPort = 96 // Edge Router fence counters per input port (Section V-D)
+)
+
+// RouteFunc decides the output port and VC for a packet arriving on inPort.
+type RouteFunc func(p *packet.Packet, inPort, inVC int) (outPort, outVC int)
+
+// Sink consumes packets that exit the network at this router.
+type Sink func(p *packet.Packet)
+
+// Config parameterizes a Router.
+type Config struct {
+	Name       string
+	Ports      int
+	VCs        int
+	QueueFlits int   // input queue depth per VC, in flits
+	HopCycles  int64 // control pipeline latency per hop
+	Clock      sim.Clock
+	Route      RouteFunc
+}
+
+type creditPeer struct {
+	r       *Router
+	outPort int
+}
+
+type outLink struct {
+	dst     *Router
+	dstPort int
+	wire    sim.Time
+	sink    Sink
+}
+
+// Router is a generic input-queued VC router.
+type Router struct {
+	cfg  Config
+	k    *sim.Kernel
+	hop  sim.Time
+	flit sim.Time // serialization time per flit on an output
+
+	queues  [][][]*qent // [port][vc] FIFO of packets
+	credits [][]int     // [outPort][vc] downstream queue space, in flits
+	outs    []outLink
+	peers   []creditPeer // upstream router feeding each input port
+	busy    []sim.Time   // per-output serialization horizon
+	rrIn    []int        // round-robin pointer per output port
+
+	// Forwarded counts packets sent out each output port.
+	Forwarded []uint64
+}
+
+type qent struct {
+	pkt       *packet.Packet
+	arrivedVC int // VC whose queue this entry occupies here (for credits)
+	outVC     int // VC assigned for the next hop (set by pickCandidate)
+}
+
+// New builds a router attached to kernel k. Output ports start unconnected;
+// wire them with Connect or Terminate.
+func New(k *sim.Kernel, cfg Config) *Router {
+	if cfg.Ports <= 0 || cfg.VCs <= 0 || cfg.QueueFlits <= 0 {
+		panic("router: invalid config")
+	}
+	r := &Router{
+		cfg:       cfg,
+		k:         k,
+		hop:       cfg.Clock.Cycles(cfg.HopCycles),
+		flit:      cfg.Clock.Period(),
+		queues:    make([][][]*qent, cfg.Ports),
+		credits:   make([][]int, cfg.Ports),
+		outs:      make([]outLink, cfg.Ports),
+		peers:     make([]creditPeer, cfg.Ports),
+		busy:      make([]sim.Time, cfg.Ports),
+		rrIn:      make([]int, cfg.Ports),
+		Forwarded: make([]uint64, cfg.Ports),
+	}
+	for p := 0; p < cfg.Ports; p++ {
+		r.queues[p] = make([][]*qent, cfg.VCs)
+		r.credits[p] = make([]int, cfg.VCs)
+	}
+	return r
+}
+
+// Name returns the configured name.
+func (r *Router) Name() string { return r.cfg.Name }
+
+// Connect wires output port ap of a to input port bp of b with the given
+// wire latency, and initializes a's credits from b's queue depth.
+func Connect(a *Router, ap int, b *Router, bp int, wire sim.Time) {
+	a.outs[ap] = outLink{dst: b, dstPort: bp, wire: wire}
+	b.peers[bp] = creditPeer{r: a, outPort: ap}
+	for vc := 0; vc < a.cfg.VCs && vc < b.cfg.VCs; vc++ {
+		a.credits[ap][vc] = b.cfg.QueueFlits
+	}
+}
+
+// Terminate makes output port p an endpoint with unbounded acceptance.
+func (r *Router) Terminate(p int, sink Sink) {
+	r.outs[p] = outLink{sink: sink}
+	for vc := 0; vc < r.cfg.VCs; vc++ {
+		r.credits[p][vc] = 1 << 30
+	}
+}
+
+// Inject delivers a packet to input port p on VC vc. Callers outside the
+// network (endpoint injectors) must police queue space themselves via
+// CanAccept; routers police each other with credits, so an overflow here is
+// a flow-control bug and panics.
+func (r *Router) Inject(p, vc int, pkt *packet.Packet) {
+	if r.queuedFlits(p, vc)+pkt.Flits() > r.cfg.QueueFlits {
+		panic(fmt.Sprintf("router %s: input queue overflow on port %d vc %d", r.cfg.Name, p, vc))
+	}
+	r.queues[p][vc] = append(r.queues[p][vc], &qent{pkt: pkt, arrivedVC: vc})
+	r.k.After(0, r.pump)
+}
+
+// CanAccept reports whether input port p, VC vc has room for pkt.
+func (r *Router) CanAccept(p, vc int, pkt *packet.Packet) bool {
+	return r.queuedFlits(p, vc)+pkt.Flits() <= r.cfg.QueueFlits
+}
+
+func (r *Router) queuedFlits(p, vc int) int {
+	n := 0
+	for _, e := range r.queues[p][vc] {
+		n += e.pkt.Flits()
+	}
+	return n
+}
+
+// pump advances every output that can make progress. Small port counts make
+// the scan cheap; determinism comes from the fixed scan order plus the
+// round-robin pointers.
+func (r *Router) pump() {
+	now := r.k.Now()
+	for out := 0; out < r.cfg.Ports; out++ {
+		if r.busy[out] > now {
+			continue
+		}
+		if e, in := r.pickCandidate(out); e != nil {
+			r.forward(out, in, e)
+		}
+	}
+}
+
+// pickCandidate finds, round-robin over input ports and then VCs, a
+// queue-head packet destined for out with sufficient downstream credit.
+func (r *Router) pickCandidate(out int) (*qent, int) {
+	for i := 0; i < r.cfg.Ports; i++ {
+		in := (r.rrIn[out] + i) % r.cfg.Ports
+		for vc := 0; vc < r.cfg.VCs; vc++ {
+			q := r.queues[in][vc]
+			if len(q) == 0 {
+				continue
+			}
+			e := q[0]
+			o, ovc := r.cfg.Route(e.pkt, in, vc)
+			if o != out {
+				continue
+			}
+			if r.credits[out][ovc] < e.pkt.Flits() {
+				continue
+			}
+			r.rrIn[out] = (in + 1) % r.cfg.Ports
+			r.queues[in][vc] = q[1:]
+			e.outVC = ovc
+			return e, in
+		}
+	}
+	return nil, 0
+}
+
+func (r *Router) forward(out, in int, e *qent) {
+	now := r.k.Now()
+	flits := e.pkt.Flits()
+	ser := sim.Time(int64(flits)) * r.flit
+	r.busy[out] = now + ser
+	r.Forwarded[out]++
+
+	// Return credits to our upstream for the queue slots we freed.
+	if peer := r.peers[in]; peer.r != nil {
+		up, upPort := peer.r, peer.outPort
+		up.credits[upPort][e.arrivedVC] += flits
+		r.k.After(0, up.pump)
+	}
+
+	link := r.outs[out]
+	arrival := now + r.hop + ser + link.wire
+	pkt, ovc := e.pkt, e.outVC
+	if link.sink != nil {
+		r.k.At(arrival, func() { link.sink(pkt) })
+	} else if link.dst != nil {
+		r.credits[out][ovc] -= flits
+		dst, dp := link.dst, link.dstPort
+		r.k.At(arrival, func() { dst.Inject(dp, ovc, pkt) })
+	} else {
+		panic(fmt.Sprintf("router %s: output port %d unconnected", r.cfg.Name, out))
+	}
+	// Output frees after serialization; try to move more traffic then.
+	r.k.At(r.busy[out], r.pump)
+}

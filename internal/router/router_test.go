@@ -1,0 +1,289 @@
+package router
+
+import (
+	"testing"
+
+	"anton3/internal/packet"
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+)
+
+var clk = sim.NewClock(2800)
+
+// chainRoute forwards everything to port 1 ("east") keeping the VC.
+func chainRoute(p *packet.Packet, in, vc int) (int, int) { return 1, vc }
+
+// makeChain builds n routers in a line, port 0 = west input, port 1 = east
+// output, terminating in a sink that records arrival times.
+func makeChain(k *sim.Kernel, n int, hopCycles int64) (first *Router, arrivals *[]sim.Time) {
+	var times []sim.Time
+	arrivals = &times
+	routers := make([]*Router, n)
+	for i := range routers {
+		routers[i] = New(k, Config{
+			Name: "r", Ports: 2, VCs: 2, QueueFlits: packet.InputQueueFlits,
+			HopCycles: hopCycles, Clock: clk, Route: chainRoute,
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		Connect(routers[i], 1, routers[i+1], 0, 0)
+	}
+	routers[n-1].Terminate(1, func(p *packet.Packet) {
+		times = append(times, k.Now())
+		*arrivals = times
+	})
+	return routers[0], arrivals
+}
+
+func TestSinglePacketLatency(t *testing.T) {
+	k := sim.NewKernel()
+	first, arrivals := makeChain(k, 3, EdgeHopCycles)
+	pkt := &packet.Packet{ID: 1}
+	pkt.SetQuad([4]uint32{1, 2, 3, 4}) // 2 flits
+	first.Inject(0, 0, pkt)
+	k.Run()
+	if len(*arrivals) != 1 {
+		t.Fatalf("arrivals = %d, want 1", len(*arrivals))
+	}
+	// Each of 3 routers: 3-cycle hop + 2-flit serialization.
+	want := clk.Cycles(3 * (EdgeHopCycles + 2))
+	if got := (*arrivals)[0]; got != want {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestHeaderOnlyFaster(t *testing.T) {
+	k := sim.NewKernel()
+	first, arrivals := makeChain(k, 2, EdgeHopCycles)
+	first.Inject(0, 0, &packet.Packet{ID: 1}) // 1 flit
+	k.Run()
+	want := clk.Cycles(2 * (EdgeHopCycles + 1))
+	if got := (*arrivals)[0]; got != want {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	// The network fence depends on this invariant: packets sent along a
+	// given path are always delivered in the order sent.
+	k := sim.NewKernel()
+	first, _ := makeChain(k, 4, EdgeHopCycles)
+	var order []uint64
+	// Rebuild sink to capture IDs.
+	last, _ := makeChain(k, 1, EdgeHopCycles)
+	_ = last
+	chain := make([]*Router, 4)
+	for i := range chain {
+		chain[i] = New(k, Config{Name: "c", Ports: 2, VCs: 2,
+			QueueFlits: packet.InputQueueFlits, HopCycles: EdgeHopCycles,
+			Clock: clk, Route: chainRoute})
+	}
+	for i := 0; i+1 < 4; i++ {
+		Connect(chain[i], 1, chain[i+1], 0, 0)
+	}
+	chain[3].Terminate(1, func(p *packet.Packet) { order = append(order, p.ID) })
+	_ = first
+	for i := uint64(0); i < 4; i++ {
+		pkt := &packet.Packet{ID: i}
+		if i%2 == 0 {
+			pkt.SetQuad([4]uint32{1})
+		}
+		chain[0].Inject(0, 0, pkt)
+	}
+	k.Run()
+	if len(order) != 4 {
+		t.Fatalf("delivered %d of 4", len(order))
+	}
+	for i, id := range order {
+		if id != uint64(i) {
+			t.Fatalf("out of order delivery: %v", order)
+		}
+	}
+}
+
+func TestBackpressureViaCredits(t *testing.T) {
+	// Saturate a 2-router chain with more flits than the downstream queue
+	// holds: the upstream must meter injections by credits and never
+	// overflow (an overflow panics).
+	k := sim.NewKernel()
+	a := New(k, Config{Name: "a", Ports: 2, VCs: 2, QueueFlits: 64,
+		HopCycles: EdgeHopCycles, Clock: clk, Route: chainRoute})
+	b := New(k, Config{Name: "b", Ports: 2, VCs: 2, QueueFlits: packet.InputQueueFlits,
+		HopCycles: EdgeHopCycles, Clock: clk, Route: chainRoute})
+	Connect(a, 1, b, 0, 0)
+	delivered := 0
+	b.Terminate(1, func(p *packet.Packet) { delivered++ })
+	n := 20
+	for i := 0; i < n; i++ {
+		pkt := &packet.Packet{ID: uint64(i)}
+		pkt.SetQuad([4]uint32{9})
+		a.Inject(0, 0, pkt) // a's own queue is deep enough for all 20
+	}
+	k.Run()
+	if delivered != n {
+		t.Fatalf("delivered %d of %d under backpressure", delivered, n)
+	}
+}
+
+func TestSerializationThroughput(t *testing.T) {
+	// n 2-flit packets through one router: last arrival ~ hop + n*2 cycles.
+	k := sim.NewKernel()
+	r := New(k, Config{Name: "r", Ports: 2, VCs: 1, QueueFlits: 1024,
+		HopCycles: EdgeHopCycles, Clock: clk, Route: chainRoute})
+	var last sim.Time
+	count := 0
+	r.Terminate(1, func(p *packet.Packet) { last = k.Now(); count++ })
+	n := 100
+	for i := 0; i < n; i++ {
+		pkt := &packet.Packet{ID: uint64(i)}
+		pkt.SetQuad([4]uint32{1})
+		r.Inject(0, 0, pkt)
+	}
+	k.Run()
+	if count != n {
+		t.Fatalf("delivered %d", count)
+	}
+	want := clk.Cycles(EdgeHopCycles + int64(n)*2)
+	if last != want {
+		t.Fatalf("drain time = %v, want %v", last, want)
+	}
+}
+
+func TestInjectOverflowPanics(t *testing.T) {
+	k := sim.NewKernel()
+	r := New(k, Config{Name: "r", Ports: 2, VCs: 1, QueueFlits: 2,
+		HopCycles: 1, Clock: clk, Route: chainRoute})
+	r.Terminate(1, func(*packet.Packet) {})
+	pkt := func(id uint64) *packet.Packet {
+		p := &packet.Packet{ID: id}
+		p.SetQuad([4]uint32{1})
+		return p
+	}
+	if !r.CanAccept(0, 0, pkt(0)) {
+		t.Fatal("empty queue should accept")
+	}
+	r.Inject(0, 0, pkt(0))
+	if r.CanAccept(0, 0, pkt(1)) {
+		t.Fatal("full queue should refuse")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow should panic")
+		}
+	}()
+	r.Inject(0, 0, pkt(1))
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// Two input ports competing for one output must interleave.
+	k := sim.NewKernel()
+	r := New(k, Config{Name: "r", Ports: 3, VCs: 1, QueueFlits: 1024,
+		HopCycles: 1, Clock: clk,
+		Route: func(p *packet.Packet, in, vc int) (int, int) { return 2, vc }})
+	var order []uint64
+	r.Terminate(2, func(p *packet.Packet) { order = append(order, p.ID) })
+	for i := 0; i < 5; i++ {
+		r.Inject(0, 0, &packet.Packet{ID: uint64(100 + i)})
+		r.Inject(1, 0, &packet.Packet{ID: uint64(200 + i)})
+	}
+	k.Run()
+	if len(order) != 10 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	// Strict alternation after the first grant.
+	for i := 2; i < len(order); i++ {
+		if (order[i] >= 200) == (order[i-1] >= 200) {
+			t.Fatalf("arbitration not fair: %v", order)
+		}
+	}
+}
+
+func TestVCIsolation(t *testing.T) {
+	// A packet on VC1 must not be blocked behind a credit-starved VC0.
+	k := sim.NewKernel()
+	a := New(k, Config{Name: "a", Ports: 2, VCs: 2, QueueFlits: 1024,
+		HopCycles: 1, Clock: clk,
+		Route: func(p *packet.Packet, in, vc int) (int, int) { return 1, vc }})
+	b := New(k, Config{Name: "b", Ports: 2, VCs: 2, QueueFlits: 2,
+		HopCycles: 1, Clock: clk, Route: chainRoute})
+	Connect(a, 1, b, 0, 0)
+	var got []uint64
+	b.Terminate(1, func(p *packet.Packet) { got = append(got, p.ID) })
+	// Fill VC0 beyond downstream capacity, then send one on VC1.
+	for i := 0; i < 6; i++ {
+		p := &packet.Packet{ID: uint64(i)}
+		p.SetQuad([4]uint32{1})
+		a.Inject(0, 0, p)
+	}
+	a.Inject(0, 1, &packet.Packet{ID: 99})
+	k.Run()
+	if len(got) != 7 {
+		t.Fatalf("delivered %d of 7", len(got))
+	}
+	// The VC1 packet must arrive before the last VC0 packet.
+	pos99 := -1
+	for i, id := range got {
+		if id == 99 {
+			pos99 = i
+		}
+	}
+	if pos99 < 0 || pos99 == len(got)-1 {
+		t.Fatalf("VC1 packet did not bypass VC0 congestion: %v", got)
+	}
+}
+
+func TestCoreRouterDesc(t *testing.T) {
+	d := CoreRouter()
+	if len(d.SubRouters) != 4 || d.MaxPorts != 4 || d.VCs != 2 {
+		t.Fatalf("core router desc %+v does not match Section III-B1", d)
+	}
+	vr := 0
+	for _, s := range d.SubRouters {
+		if s == VRTR {
+			vr++
+		}
+	}
+	if vr != 2 {
+		t.Fatal("core router should contain two VRTRs")
+	}
+	if TRTR.String() != "TRTR" || URTR.String() != "URTR" || VRTR.String() != "VRTR" {
+		t.Fatal("SubRouter strings broken")
+	}
+}
+
+func TestCoreNetworkLatency(t *testing.T) {
+	// Per-hop: 2 cycles U, 5 cycles V.
+	if CoreHopLatency(clk, false) != clk.Cycles(2) {
+		t.Fatal("U hop latency wrong")
+	}
+	if CoreHopLatency(clk, true) != clk.Cycles(5) {
+		t.Fatal("V hop latency wrong")
+	}
+	want := clk.Cycles(3*2 + 2*5)
+	if CoreNetworkLatency(clk, 3, 2) != want {
+		t.Fatal("core network latency wrong")
+	}
+}
+
+func TestNewEdgeRouterConfig(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewEdgeRouter(k, "ertr", clk, 6, func(p *packet.Packet, in, vc int) (int, int) { return 0, vc })
+	if r.cfg.VCs != 5 {
+		t.Fatalf("edge router VCs = %d, want 5", r.cfg.VCs)
+	}
+	if r.cfg.QueueFlits != 8 {
+		t.Fatalf("edge router queue depth = %d flits, want 8", r.cfg.QueueFlits)
+	}
+	if r.cfg.HopCycles != 3 {
+		t.Fatalf("edge router hop = %d cycles, want 3", r.cfg.HopCycles)
+	}
+}
+
+func TestFenceCounterBudget(t *testing.T) {
+	// Section V-D: 96 fence counters per Edge Router input port.
+	if FenceCountersPerPort != 96 {
+		t.Fatal("fence counter budget changed")
+	}
+}
+
+var _ = topo.Coord{} // keep topo linked for future tests

@@ -1,0 +1,120 @@
+package serdes
+
+import (
+	"anton3/internal/packet"
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+)
+
+// ChannelConfig parameterizes one channel direction between torus neighbors.
+type ChannelConfig struct {
+	Lanes    int // SERDES lanes in this direction (16 per neighbor)
+	GbpsLane int // per-lane bandwidth (29 Gb/s on Anton 3)
+	// FixedLatency is the load-independent part of a channel crossing:
+	// SERDES tx, wire flight, SERDES rx/CDR, and the Channel Adapter logic
+	// at both ends. Calibrated in internal/core so that the measured
+	// off-chip per-hop latency lands at the paper's 34.2 ns.
+	FixedLatency sim.Time
+	Compress     CompressConfig
+}
+
+// DefaultChannelConfig returns the production lane provisioning with the
+// given fixed latency and compression settings.
+func DefaultChannelConfig(fixed sim.Time, comp CompressConfig) ChannelConfig {
+	return ChannelConfig{
+		Lanes:        topo.SerdesPerNeighbor,
+		GbpsLane:     topo.SerdesGbps,
+		FixedLatency: fixed,
+		Compress:     comp,
+	}
+}
+
+// Channel is one direction of an inter-node link: a serialization server at
+// the aggregate lane bandwidth (derated by frame overhead) preceded by the
+// Channel Adapter compression pipeline. The Channel Adapter has enough
+// buffering that the channel itself is the backpressure point, so the model
+// queues packets in arrival order and serializes them back to back.
+type Channel struct {
+	k    *sim.Kernel
+	cfg  ChannelConfig
+	comp *Compressor
+
+	// psPerBitNum/Den express picoseconds per payload bit as a ratio so
+	// no floating point enters timing: ps/bit = 1000 / (lanes*gbps) scaled
+	// by frame overhead 64/60.
+	psNum int64
+	psDen int64
+
+	busy     sim.Time
+	carried  uint64 // packets delivered
+	busyTime sim.Time
+	lastIdle sim.Time
+
+	// OnSend, when set, observes each serialization interval (activity
+	// tracing for the Figure 12 machine activity plots).
+	OnSend func(p *packet.Packet, start, end sim.Time)
+}
+
+// NewChannel builds a channel direction on kernel k.
+func NewChannel(k *sim.Kernel, cfg ChannelConfig) *Channel {
+	if cfg.Lanes <= 0 || cfg.GbpsLane <= 0 {
+		panic("serdes: invalid channel config")
+	}
+	return &Channel{
+		k:    k,
+		cfg:  cfg,
+		comp: NewCompressor(cfg.Compress),
+		// ps/bit = 1000/(lanes*gbps) * (FrameBytes/(FrameBytes-Overhead))
+		psNum: 1000 * FrameBytes,
+		psDen: int64(cfg.Lanes) * int64(cfg.GbpsLane) * (FrameBytes - FrameOverheadBytes),
+	}
+}
+
+// Compressor exposes the channel's compression pipeline for statistics.
+func (ch *Channel) Compressor() *Compressor { return ch.comp }
+
+// SerializeTime returns the time to put bits on the lanes, including frame
+// overhead derating.
+func (ch *Channel) SerializeTime(bits int) sim.Time {
+	return sim.Time((int64(bits)*ch.psNum + ch.psDen - 1) / ch.psDen)
+}
+
+// Busy reports the current serialization horizon (diagnostics).
+func (ch *Channel) Busy() sim.Time { return ch.busy }
+
+// Utilization returns the fraction of time the channel has been
+// serializing since construction.
+func (ch *Channel) Utilization(now sim.Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(ch.busyTime) / float64(now)
+}
+
+// Carried reports delivered packet count.
+func (ch *Channel) Carried() uint64 { return ch.carried }
+
+// Send compresses and serializes p, delivering the reconstructed packet to
+// deliver at the far end after serialization plus the fixed SERDES/wire
+// latency. Delivery order always matches send order — the in-order property
+// the network fence builds on.
+func (ch *Channel) Send(p *packet.Packet, deliver func(*packet.Packet)) sim.Time {
+	out, bits := ch.comp.Transmit(p)
+	ser := ch.SerializeTime(bits)
+	now := ch.k.Now()
+	start := ch.busy
+	if start < now {
+		start = now
+	}
+	ch.busy = start + ser
+	ch.busyTime += ser
+	arrival := ch.busy + ch.cfg.FixedLatency
+	ch.carried++
+	if ch.OnSend != nil {
+		ch.OnSend(p, start, ch.busy)
+	}
+	if deliver != nil {
+		ch.k.At(arrival, func() { deliver(out) })
+	}
+	return arrival
+}

@@ -1,0 +1,111 @@
+package sim
+
+import "container/heap"
+
+// Handler is a callback invoked when an event fires.
+type Handler func()
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  Handler
+}
+
+// eventHeap orders events by time, breaking ties by scheduling order.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation executive. It is not safe for
+// concurrent use; all components of one simulated machine share one Kernel
+// and run in a single goroutine, which is what makes runs deterministic.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewKernel returns a kernel with the clock at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsFired reports how many events have executed so far (useful for
+// performance accounting in benchmarks).
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// Pending reports the number of scheduled-but-unfired events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// it is always a modeling bug.
+func (k *Kernel) At(at Time, fn Handler) {
+	if at < k.now {
+		panic("sim: event scheduled in the past")
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run delay picoseconds from now.
+func (k *Kernel) After(delay Time, fn Handler) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	k.At(k.now+delay, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the time of the last executed event.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued. It returns true if the queue drained
+// before the deadline.
+func (k *Kernel) RunUntil(deadline Time) bool {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		if k.events[0].at > deadline {
+			k.now = deadline
+			return false
+		}
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		k.fired++
+		e.fn()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return len(k.events) == 0
+}

@@ -1,0 +1,91 @@
+// Package stats provides the small statistical helpers the experiment
+// harnesses need: means, linear least-squares fits, and utilization
+// accounting.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// LinFit fits y = Slope*x + Intercept by least squares.
+type LinFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// Fit computes the least-squares line through (xs, ys). It panics on
+// mismatched or too-short inputs — a harness bug, not data.
+func Fit(xs, ys []float64) LinFit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: Fit needs two equal-length series of at least 2 points")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("stats: degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	// Coefficient of determination.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinFit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+func (f LinFit) String() string {
+	return fmt.Sprintf("y = %.2f + %.2f*x (R2=%.4f)", f.Intercept, f.Slope, f.R2)
+}
+
+// Within reports whether got is within tol (fractional) of want.
+func Within(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) <= tol
+	}
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}

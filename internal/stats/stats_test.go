@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-point stddev")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestFitExactLine(t *testing.T) {
+	f := func(a, b int8) bool {
+		slope, icept := float64(a), float64(b)
+		xs := []float64{0, 1, 2, 3, 4}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = slope*x + icept
+		}
+		fit := Fit(xs, ys)
+		return math.Abs(fit.Slope-slope) < 1e-9 &&
+			math.Abs(fit.Intercept-icept) < 1e-9 &&
+			fit.R2 > 0.999999 || (slope == 0 && math.Abs(fit.Slope) < 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPaperNumbers(t *testing.T) {
+	// Reconstruct Figure 5's fit: points on 55.9 + 34.2h recover the
+	// published coefficients.
+	var xs, ys []float64
+	for h := 1; h <= 8; h++ {
+		xs = append(xs, float64(h))
+		ys = append(ys, 55.9+34.2*float64(h))
+	}
+	fit := Fit(xs, ys)
+	if !Within(fit.Slope, 34.2, 1e-9) || !Within(fit.Intercept, 55.9, 1e-9) {
+		t.Fatalf("fit = %v", fit)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short input should panic")
+		}
+	}()
+	Fit([]float64{1}, []float64{1})
+}
+
+func TestFitDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate x should panic")
+		}
+	}()
+	Fit([]float64{2, 2, 2}, []float64{1, 2, 3})
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(110, 100, 0.1) || Within(111, 100, 0.1) {
+		t.Fatal("Within tolerance broken")
+	}
+	if !Within(0.0001, 0, 0.001) {
+		t.Fatal("Within zero-want broken")
+	}
+}
+
+func TestFitString(t *testing.T) {
+	fit := Fit([]float64{0, 1}, []float64{1, 3})
+	if fit.String() != "y = 1.00 + 2.00*x (R2=1.0000)" {
+		t.Fatalf("String = %q", fit.String())
+	}
+}

@@ -1,0 +1,146 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllDimOrdersValid(t *testing.T) {
+	seen := make(map[DimOrder]bool)
+	for i, o := range AllDimOrders {
+		if !o.Valid() {
+			t.Fatalf("order %d (%v) invalid", i, o)
+		}
+		if seen[o] {
+			t.Fatalf("duplicate order %v", o)
+		}
+		seen[o] = true
+		if o.Index() != i {
+			t.Fatalf("Index(%v) = %d, want %d", o, o.Index(), i)
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 distinct orders, got %d", len(seen))
+	}
+}
+
+func TestDimOrderInvalid(t *testing.T) {
+	bad := DimOrder{X, X, Y}
+	if bad.Valid() {
+		t.Fatal("XXY should be invalid")
+	}
+	if bad.Index() != -1 {
+		t.Fatal("invalid order should have Index -1")
+	}
+}
+
+func TestDimOrderString(t *testing.T) {
+	if OrderZYX.String() != "ZYX" {
+		t.Fatalf("String = %q", OrderZYX.String())
+	}
+}
+
+func TestRouteReachesDestination(t *testing.T) {
+	s := Shape{4, 4, 8}
+	f := func(a, b uint16, oi uint8) bool {
+		src := s.CoordOf(int(a) % s.Nodes())
+		dst := s.CoordOf(int(b) % s.Nodes())
+		o := AllDimOrders[int(oi)%6]
+		nodes := RouteNodes(s, src, dst, o)
+		return nodes[len(nodes)-1] == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteMinimal(t *testing.T) {
+	s := Shape{4, 4, 8}
+	f := func(a, b uint16, oi uint8) bool {
+		src := s.CoordOf(int(a) % s.Nodes())
+		dst := s.CoordOf(int(b) % s.Nodes())
+		o := AllDimOrders[int(oi)%6]
+		return len(Route(s, src, dst, o)) == s.HopDist(src, dst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteDimensionOrder(t *testing.T) {
+	// Once a route leaves a dimension it must never return to it.
+	s := Shape{4, 4, 8}
+	f := func(a, b uint16, oi uint8) bool {
+		src := s.CoordOf(int(a) % s.Nodes())
+		dst := s.CoordOf(int(b) % s.Nodes())
+		o := AllDimOrders[int(oi)%6]
+		steps := Route(s, src, dst, o)
+		rank := map[Dim]int{o[0]: 0, o[1]: 1, o[2]: 2}
+		last := -1
+		for _, st := range steps {
+			r := rank[st.Dim]
+			if r < last {
+				return false
+			}
+			last = r
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteSameDirectionPerDim(t *testing.T) {
+	// Minimal routing never doubles back within a dimension.
+	s := Shape{4, 4, 8}
+	f := func(a, b uint16, oi uint8) bool {
+		src := s.CoordOf(int(a) % s.Nodes())
+		dst := s.CoordOf(int(b) % s.Nodes())
+		o := AllDimOrders[int(oi)%6]
+		dir := map[Dim]int{}
+		for _, st := range Route(s, src, dst, o) {
+			if prev, ok := dir[st.Dim]; ok && prev != st.Dir {
+				return false
+			}
+			dir[st.Dim] = st.Dir
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteExample(t *testing.T) {
+	s := Shape{4, 4, 8}
+	steps := Route(s, Coord{0, 0, 0}, Coord{1, 3, 2}, OrderXYZ)
+	// X: +1 (1 hop); Y: 0->3 is -1 with wraparound (1 hop); Z: +2 (2 hops).
+	want := []Step{{X, 1}, {Y, -1}, {Z, 1}, {Z, 1}}
+	if len(steps) != len(want) {
+		t.Fatalf("route = %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("route = %v, want %v", steps, want)
+		}
+	}
+}
+
+func TestRouteZeroLength(t *testing.T) {
+	s := Shape{4, 4, 8}
+	c := Coord{2, 2, 2}
+	if len(Route(s, c, c, OrderXYZ)) != 0 {
+		t.Fatal("self-route should be empty")
+	}
+	nodes := RouteNodes(s, c, c, OrderXYZ)
+	if len(nodes) != 1 || nodes[0] != c {
+		t.Fatal("self RouteNodes should be [c]")
+	}
+}
+
+func TestStepString(t *testing.T) {
+	if (Step{X, 1}).String() != "X+" || (Step{Z, -1}).String() != "Z-" {
+		t.Fatal("Step.String broken")
+	}
+}

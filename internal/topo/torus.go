@@ -1,0 +1,191 @@
+// Package topo describes the two network topologies of an Anton 3 machine:
+// the inter-node 3D torus (dimensions X, Y, Z) and the on-chip 2D mesh
+// (dimensions U, V — the paper uses U/V precisely to avoid confusion with the
+// torus dimensions). It provides coordinates, wraparound distances, minimal
+// route enumeration and the six dimension orders used by the oblivious
+// routing policy.
+package topo
+
+import "fmt"
+
+// Dim identifies one torus dimension.
+type Dim uint8
+
+// The three torus dimensions.
+const (
+	X Dim = iota
+	Y
+	Z
+)
+
+func (d Dim) String() string {
+	switch d {
+	case X:
+		return "X"
+	case Y:
+		return "Y"
+	case Z:
+		return "Z"
+	}
+	return fmt.Sprintf("Dim(%d)", uint8(d))
+}
+
+// Coord is a node position within the torus.
+type Coord struct {
+	X, Y, Z int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z) }
+
+// Get returns the coordinate along d.
+func (c Coord) Get(d Dim) int {
+	switch d {
+	case X:
+		return c.X
+	case Y:
+		return c.Y
+	default:
+		return c.Z
+	}
+}
+
+// With returns a copy of c with the coordinate along d replaced by v.
+func (c Coord) With(d Dim, v int) Coord {
+	switch d {
+	case X:
+		c.X = v
+	case Y:
+		c.Y = v
+	default:
+		c.Z = v
+	}
+	return c
+}
+
+// Shape is the size of the torus in each dimension. Anton 3 machines comprise
+// up to 512 nodes; the 128-node machine in the paper is 4 x 4 x 8.
+type Shape struct {
+	X, Y, Z int
+}
+
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.X, s.Y, s.Z) }
+
+// Nodes reports the total node count.
+func (s Shape) Nodes() int { return s.X * s.Y * s.Z }
+
+// Get returns the extent along d.
+func (s Shape) Get(d Dim) int {
+	switch d {
+	case X:
+		return s.X
+	case Y:
+		return s.Y
+	default:
+		return s.Z
+	}
+}
+
+// Valid reports whether every dimension is at least 1.
+func (s Shape) Valid() bool { return s.X >= 1 && s.Y >= 1 && s.Z >= 1 }
+
+// Contains reports whether c is a legal coordinate in s.
+func (s Shape) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < s.X && c.Y >= 0 && c.Y < s.Y && c.Z >= 0 && c.Z < s.Z
+}
+
+// Wrap maps an arbitrary integer coordinate into the torus.
+func (s Shape) Wrap(c Coord) Coord {
+	return Coord{mod(c.X, s.X), mod(c.Y, s.Y), mod(c.Z, s.Z)}
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// Index linearizes c (X fastest) for use as a slice index.
+func (s Shape) Index(c Coord) int {
+	if !s.Contains(c) {
+		panic(fmt.Sprintf("topo: coord %v outside shape %v", c, s))
+	}
+	return c.X + s.X*(c.Y+s.Y*c.Z)
+}
+
+// CoordOf is the inverse of Index.
+func (s Shape) CoordOf(i int) Coord {
+	if i < 0 || i >= s.Nodes() {
+		panic(fmt.Sprintf("topo: index %d outside shape %v", i, s))
+	}
+	x := i % s.X
+	i /= s.X
+	return Coord{x, i % s.Y, i / s.Y}
+}
+
+// dimDist returns the minimal signed step count from a to b along a ring of
+// size n: the result is in (-n/2, n/2]. Positive means the + direction.
+// For even rings the tie (distance exactly n/2) resolves to +.
+func dimDist(a, b, n int) int {
+	d := mod(b-a, n)
+	if 2*d > n {
+		d -= n
+	}
+	return d
+}
+
+// Delta returns the minimal signed per-dimension steps from a to b.
+func (s Shape) Delta(a, b Coord) Coord {
+	return Coord{
+		dimDist(a.X, b.X, s.X),
+		dimDist(a.Y, b.Y, s.Y),
+		dimDist(a.Z, b.Z, s.Z),
+	}
+}
+
+// HopDist returns the minimal number of inter-node hops between a and b.
+func (s Shape) HopDist(a, b Coord) int {
+	d := s.Delta(a, b)
+	return abs(d.X) + abs(d.Y) + abs(d.Z)
+}
+
+// Diameter is the maximum HopDist between any node pair: the hop count of a
+// machine-spanning fence or barrier.
+func (s Shape) Diameter() int {
+	return s.X/2 + s.Y/2 + s.Z/2
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Neighbor returns the node one hop from c along d in direction dir (+1/-1).
+func (s Shape) Neighbor(c Coord, d Dim, dir int) Coord {
+	if dir != 1 && dir != -1 {
+		panic("topo: direction must be +1 or -1")
+	}
+	return s.Wrap(c.With(d, c.Get(d)+dir))
+}
+
+// ForEach calls fn for every coordinate in the shape in Index order.
+func (s Shape) ForEach(fn func(Coord)) {
+	for i := 0; i < s.Nodes(); i++ {
+		fn(s.CoordOf(i))
+	}
+}
+
+// WithinHops returns all coordinates at torus distance <= h from c,
+// including c itself, in Index order.
+func (s Shape) WithinHops(c Coord, h int) []Coord {
+	var out []Coord
+	s.ForEach(func(o Coord) {
+		if s.HopDist(c, o) <= h {
+			out = append(out, o)
+		}
+	})
+	return out
+}

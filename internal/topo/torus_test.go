@@ -1,0 +1,180 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var paperShape = Shape{X: 4, Y: 4, Z: 8} // the 128-node machine of the paper
+
+func TestShapeNodes(t *testing.T) {
+	if n := paperShape.Nodes(); n != 128 {
+		t.Fatalf("4x4x8 nodes = %d, want 128", n)
+	}
+	if n := (Shape{8, 8, 8}).Nodes(); n != 512 {
+		t.Fatalf("8x8x8 nodes = %d, want 512 (max Anton 3 machine)", n)
+	}
+}
+
+func TestShapeDiameter(t *testing.T) {
+	// Paper: the 8-hop case is the global barrier across the 4x4x8 machine.
+	if d := paperShape.Diameter(); d != 8 {
+		t.Fatalf("4x4x8 diameter = %d, want 8", d)
+	}
+	if d := (Shape{2, 2, 2}).Diameter(); d != 3 {
+		t.Fatalf("2x2x2 diameter = %d, want 3", d)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	s := Shape{3, 4, 5}
+	for i := 0; i < s.Nodes(); i++ {
+		c := s.CoordOf(i)
+		if s.Index(c) != i {
+			t.Fatalf("Index(CoordOf(%d)) = %d", i, s.Index(c))
+		}
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Index outside shape did not panic")
+		}
+	}()
+	(Shape{2, 2, 2}).Index(Coord{2, 0, 0})
+}
+
+func TestWrap(t *testing.T) {
+	s := Shape{4, 4, 8}
+	cases := []struct{ in, want Coord }{
+		{Coord{4, 0, 0}, Coord{0, 0, 0}},
+		{Coord{-1, 0, 0}, Coord{3, 0, 0}},
+		{Coord{0, 5, -9}, Coord{0, 1, 7}},
+	}
+	for _, c := range cases {
+		if got := s.Wrap(c.in); got != c.want {
+			t.Errorf("Wrap(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHopDistSymmetric(t *testing.T) {
+	s := Shape{4, 4, 8}
+	f := func(a, b uint16) bool {
+		ca := s.CoordOf(int(a) % s.Nodes())
+		cb := s.CoordOf(int(b) % s.Nodes())
+		return s.HopDist(ca, cb) == s.HopDist(cb, ca)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopDistTriangle(t *testing.T) {
+	s := Shape{4, 4, 8}
+	f := func(a, b, c uint16) bool {
+		ca := s.CoordOf(int(a) % s.Nodes())
+		cb := s.CoordOf(int(b) % s.Nodes())
+		cc := s.CoordOf(int(c) % s.Nodes())
+		return s.HopDist(ca, cc) <= s.HopDist(ca, cb)+s.HopDist(cb, cc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopDistWraparound(t *testing.T) {
+	s := Shape{4, 4, 8}
+	if d := s.HopDist(Coord{0, 0, 0}, Coord{3, 0, 0}); d != 1 {
+		t.Fatalf("wraparound X dist = %d, want 1", d)
+	}
+	if d := s.HopDist(Coord{0, 0, 0}, Coord{0, 0, 7}); d != 1 {
+		t.Fatalf("wraparound Z dist = %d, want 1", d)
+	}
+	if d := s.HopDist(Coord{0, 0, 0}, Coord{2, 2, 4}); d != 8 {
+		t.Fatalf("antipodal dist = %d, want 8", d)
+	}
+}
+
+func TestNeighborInverse(t *testing.T) {
+	s := Shape{4, 4, 8}
+	s.ForEach(func(c Coord) {
+		for _, d := range []Dim{X, Y, Z} {
+			fwd := s.Neighbor(c, d, 1)
+			if back := s.Neighbor(fwd, d, -1); back != c {
+				t.Fatalf("neighbor inverse broken at %v dim %v", c, d)
+			}
+		}
+	})
+}
+
+func TestNeighborTwoRing(t *testing.T) {
+	// In a 2-wide dimension, + and - reach the same node (noted in DESIGN
+	// for the 2x2x2 compression machine).
+	s := Shape{2, 2, 2}
+	c := Coord{0, 0, 0}
+	if s.Neighbor(c, X, 1) != s.Neighbor(c, X, -1) {
+		t.Fatal("2-ring +X and -X should coincide")
+	}
+}
+
+func TestWithinHops(t *testing.T) {
+	s := Shape{4, 4, 8}
+	got := s.WithinHops(Coord{0, 0, 0}, 1)
+	// self + 6 neighbors (all distinct in a 4x4x8 torus)
+	if len(got) != 7 {
+		t.Fatalf("WithinHops(1) = %d nodes, want 7", len(got))
+	}
+	all := s.WithinHops(Coord{1, 2, 3}, s.Diameter())
+	if len(all) != s.Nodes() {
+		t.Fatalf("WithinHops(diameter) = %d, want %d", len(all), s.Nodes())
+	}
+}
+
+func TestDeltaMinimal(t *testing.T) {
+	s := Shape{4, 4, 8}
+	f := func(a, b uint16) bool {
+		ca := s.CoordOf(int(a) % s.Nodes())
+		cb := s.CoordOf(int(b) % s.Nodes())
+		d := s.Delta(ca, cb)
+		// Applying the delta must land on b.
+		end := s.Wrap(Coord{ca.X + d.X, ca.Y + d.Y, ca.Z + d.Z})
+		if end != cb {
+			return false
+		}
+		// And each component must be minimal.
+		return abs(d.X) <= s.X/2 && abs(d.Y) <= s.Y/2 && abs(d.Z) <= s.Z/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordGetWith(t *testing.T) {
+	c := Coord{1, 2, 3}
+	for _, d := range []Dim{X, Y, Z} {
+		want := map[Dim]int{X: 1, Y: 2, Z: 3}[d]
+		if c.Get(d) != want {
+			t.Fatalf("Get(%v) = %d, want %d", d, c.Get(d), want)
+		}
+		c2 := c.With(d, 9)
+		if c2.Get(d) != 9 {
+			t.Fatalf("With(%v) did not set", d)
+		}
+		if c2.Get(d.next()) == 9 && c.Get(d.next()) != 9 {
+			t.Fatalf("With(%v) clobbered another dim", d)
+		}
+	}
+}
+
+func (d Dim) next() Dim { return (d + 1) % 3 }
+
+func TestDimString(t *testing.T) {
+	if X.String() != "X" || Y.String() != "Y" || Z.String() != "Z" {
+		t.Fatal("Dim.String broken")
+	}
+	if Dim(9).String() != "Dim(9)" {
+		t.Fatal("invalid Dim.String broken")
+	}
+}

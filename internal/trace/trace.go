@@ -1,0 +1,157 @@
+// Package trace records component activity intervals during a simulation
+// and renders them as the text analogue of the paper's Figure 12 machine
+// activity plots: one column per component class, one row per time bin,
+// with shading by utilization.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anton3/internal/sim"
+)
+
+type interval struct {
+	start, end sim.Time
+}
+
+// Recorder accumulates busy intervals per named track.
+type Recorder struct {
+	tracks map[string][]interval
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{tracks: make(map[string][]interval)}
+}
+
+// Add records that track was busy during [start, end).
+func (r *Recorder) Add(track string, start, end sim.Time) {
+	if end <= start {
+		return
+	}
+	if _, ok := r.tracks[track]; !ok {
+		r.order = append(r.order, track)
+	}
+	r.tracks[track] = append(r.tracks[track], interval{start, end})
+}
+
+// Tracks lists track names in first-use order.
+func (r *Recorder) Tracks() []string { return append([]string(nil), r.order...) }
+
+// Utilization returns the busy fraction of track within [from, to).
+func (r *Recorder) Utilization(track string, from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	var busy sim.Time
+	for _, iv := range r.tracks[track] {
+		s, e := iv.start, iv.end
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		if e > s {
+			busy += e - s
+		}
+	}
+	return float64(busy) / float64(to-from)
+}
+
+// Span returns the earliest start and latest end across all tracks.
+func (r *Recorder) Span() (sim.Time, sim.Time) {
+	first := true
+	var lo, hi sim.Time
+	for _, ivs := range r.tracks {
+		for _, iv := range ivs {
+			if first || iv.start < lo {
+				lo = iv.start
+			}
+			if first || iv.end > hi {
+				hi = iv.end
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}
+
+// shades maps utilization to a glyph, light to dark.
+var shades = []byte{' ', '.', ':', '+', '*', '#'}
+
+func shade(u float64) byte {
+	idx := int(u * float64(len(shades)))
+	if idx >= len(shades) {
+		idx = len(shades) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return shades[idx]
+}
+
+// Render draws the activity plot with the given number of time bins. Track
+// order follows first use; tracks render as columns (matching Figure 12's
+// layout: channels left, GCs middle, PPIMs right, time flowing downward).
+func (r *Recorder) Render(bins int) string {
+	if bins <= 0 || len(r.order) == 0 {
+		return "(no activity)\n"
+	}
+	lo, hi := r.Span()
+	if hi <= lo {
+		return "(no activity)\n"
+	}
+	var b strings.Builder
+
+	// Header with column labels, vertical to keep columns narrow.
+	width := 0
+	for _, t := range r.order {
+		if len(t) > width {
+			width = len(t)
+		}
+	}
+	for row := 0; row < width; row++ {
+		b.WriteString("          ")
+		for _, t := range r.order {
+			if row < len(t) {
+				b.WriteByte(t[row])
+			} else {
+				b.WriteByte(' ')
+			}
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+
+	binDur := (hi - lo) / sim.Time(bins)
+	if binDur <= 0 {
+		binDur = 1
+	}
+	for i := 0; i < bins; i++ {
+		from := lo + sim.Time(i)*binDur
+		to := from + binDur
+		fmt.Fprintf(&b, "%7.0fns  ", from.Nanoseconds())
+		for _, t := range r.order {
+			b.WriteByte(shade(r.Utilization(t, from, to)))
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary returns per-track overall utilization lines, sorted by name.
+func (r *Recorder) Summary() string {
+	lo, hi := r.Span()
+	names := r.Tracks()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, t := range names {
+		fmt.Fprintf(&b, "%-20s %5.1f%%\n", t, 100*r.Utilization(t, lo, hi))
+	}
+	return b.String()
+}

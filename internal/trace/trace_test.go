@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"anton3/internal/sim"
+)
+
+func TestUtilization(t *testing.T) {
+	r := NewRecorder()
+	r.Add("ch", 0, 50*sim.Nanosecond)
+	r.Add("ch", 75*sim.Nanosecond, 100*sim.Nanosecond)
+	u := r.Utilization("ch", 0, 100*sim.Nanosecond)
+	if u < 0.749 || u > 0.751 {
+		t.Fatalf("utilization = %v, want 0.75", u)
+	}
+	if r.Utilization("ch", 50*sim.Nanosecond, 75*sim.Nanosecond) != 0 {
+		t.Fatal("idle window should be 0")
+	}
+}
+
+func TestZeroLengthIntervalIgnored(t *testing.T) {
+	r := NewRecorder()
+	r.Add("x", 5, 5)
+	if len(r.Tracks()) != 0 {
+		t.Fatal("empty interval created a track")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", 10, 20)
+	r.Add("b", 5, 12)
+	lo, hi := r.Span()
+	if lo != 5 || hi != 20 {
+		t.Fatalf("span = %v..%v", lo, hi)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	r := NewRecorder()
+	r.Add("chan", 0, 100*sim.Nanosecond)
+	r.Add("ppim", 50*sim.Nanosecond, 150*sim.Nanosecond)
+	out := r.Render(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 4 header rows (longest name "chan"/"ppim" = 4) + 10 bins.
+	if len(lines) != 14 {
+		t.Fatalf("render has %d lines, want 14:\n%s", len(lines), out)
+	}
+	// First bin: chan fully busy (#), ppim idle (space).
+	if !strings.Contains(lines[4], "#") {
+		t.Fatalf("first bin should show full utilization:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	r := NewRecorder()
+	if r.Render(10) != "(no activity)\n" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder()
+	r.Add("b", 0, 10)
+	r.Add("a", 0, 5)
+	s := r.Summary()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "50.0%") {
+		t.Fatalf("summary = %q", s)
+	}
+	// Sorted: a before b.
+	if strings.Index(s, "a") > strings.Index(s, "b") {
+		t.Fatal("summary not sorted")
+	}
+}
+
+func TestShadeMonotone(t *testing.T) {
+	prev := byte(' ')
+	order := " .:+*#"
+	for u := 0.0; u <= 1.0; u += 0.05 {
+		g := shade(u)
+		if strings.IndexByte(order, g) < strings.IndexByte(order, prev) {
+			t.Fatalf("shade not monotone at %v", u)
+		}
+		prev = g
+	}
+}
