@@ -1,0 +1,30 @@
+# Mirrors .github/workflows/ci.yml so contributors run the exact CI
+# commands locally. `make ci` is the whole pipeline.
+
+GO ?= go
+
+.PHONY: build test test-short bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The CI fast lane: reduced-size (not skipped) tests under the race
+# detector.
+test-short:
+	$(GO) test -short -race ./...
+
+# The CI bench lane: every paper artifact once, then a full parallel
+# `all` run refreshing BENCH_runner.json.
+bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
+	$(GO) run ./cmd/anton3 all -json BENCH_runner.json > /dev/null
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+ci: lint build test-short bench

@@ -11,8 +11,40 @@ import (
 	"testing"
 
 	"anton3/internal/experiments"
+	"anton3/internal/runner"
+	"anton3/internal/sim"
 	"anton3/internal/topo"
 )
+
+// BenchmarkRunnerAll runs every table, figure and ablation through the
+// parallel runner at reduced sizes — the orchestration path cmd/anton3
+// `all` uses — and logs the pool's wall/CPU/speedup line. The CI bench
+// lane regenerates the full-scale BENCH_runner.json artifact with
+// `go run ./cmd/anton3 all -json BENCH_runner.json`.
+func BenchmarkRunnerAll(b *testing.B) {
+	p := experiments.DefaultParams()
+	p.Fig5Pairs = 2
+	p.Fig9aSizes = []int{8000}
+	p.Fig9aWarm, p.Fig9aMeasure = 2, 2
+	p.Fig9bSizes = []int{8000}
+	p.Fig9bSteps = 2
+	p.Fig12Atoms, p.Fig12Steps = 8000, 2
+	p.AblPredictorAtoms = 4000
+	p.AblPcacheAtoms = 8000
+	p.AblPcacheSizes = []int{256, 1024}
+	p.AblINZAtoms = 3000
+	p.AblDimWrites = 40
+	var rep runner.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = runner.Run(experiments.Jobs(p), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("%d jobs on %d workers: %.2fs wall, %.2fs CPU, speedup %.2fx",
+		rep.Jobs, rep.Workers, float64(rep.WallNs)/1e9, float64(rep.CPUNs)/1e9, rep.Speedup)
+}
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -38,7 +70,7 @@ func BenchmarkTable3(b *testing.B) {
 func BenchmarkFig5_LatencyVsHops(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
-		out = experiments.Fig5(4).Render()
+		out = experiments.Fig5(sim.NewRand(experiments.Fig5Seed), 4).Render()
 	}
 	b.Log("\n" + out)
 }

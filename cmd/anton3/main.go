@@ -1,6 +1,8 @@
 // Command anton3 regenerates the paper's tables and figures from the
 // simulator. Each subcommand prints measured values next to the published
-// ones.
+// ones. Every experiment owns a private simulation kernel, so independent
+// experiments fan out across cores (-jobs) with byte-identical output to a
+// sequential run; -json records the runner's report for CI artifacts.
 //
 // Usage:
 //
@@ -13,7 +15,7 @@ import (
 	"os"
 
 	"anton3/internal/experiments"
-	"anton3/internal/topo"
+	"anton3/internal/runner"
 )
 
 func main() {
@@ -23,6 +25,9 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	jobs := fs.Int("jobs", 0, "worker count for independent experiments (0 = all cores)")
+	jsonPath := fs.String("json", "", "write the runner report (timings, rows) to this file")
+	quiet := fs.Bool("q", false, "suppress the runner summary on stderr")
 	pairs := fs.Int("pairs", 6, "sampled GC pairs per hop count (fig5)")
 	atoms := fs.Int("atoms", 32751, "atom count (fig12)")
 	steps := fs.Int("steps", 3, "timestep count (fig9b, fig12)")
@@ -30,47 +35,42 @@ func main() {
 	measure := fs.Int("measure", 4, "measured steps (fig9a)")
 	fs.Parse(os.Args[2:])
 
-	fig9aSizes := []int{8000, 16000, 32751, 65000, 131000}
-	fig9bSizes := []int{8000, 16000, 32751, 65000}
+	p := experiments.DefaultParams()
+	p.Fig5Pairs = *pairs
+	p.Fig12Atoms = *atoms
+	p.Fig9bSteps = *steps
+	p.Fig12Steps = *steps
+	p.Fig9aWarm = *warm
+	p.Fig9aMeasure = *measure
 
-	var run func(name string)
-	run = func(name string) {
-		switch name {
-		case "tables":
-			fmt.Println(experiments.Tables())
-		case "fig5":
-			fmt.Println(experiments.Fig5(*pairs).Render())
-		case "fig6":
-			fmt.Println(experiments.Fig6().Render())
-		case "fig9a":
-			fmt.Println(experiments.RenderFig9a(experiments.Fig9a(fig9aSizes, *warm, *measure)))
-		case "fig9b":
-			fmt.Println(experiments.RenderFig9b(experiments.Fig9b(fig9bSizes, *steps)))
-		case "fig11":
-			fmt.Println(experiments.Fig11().Render())
-		case "fig12":
-			fmt.Println(experiments.Fig12(*atoms, *steps).Render())
-		case "ablations":
-			fmt.Println(experiments.RenderAblation("Ablation: pcache predictor order (8k atoms)",
-				experiments.AblationPredictorOrder(8000, 3, 3)))
-			fmt.Println(experiments.RenderAblation("Ablation: pcache size sweep (32751 atoms)",
-				experiments.AblationPcacheSize(32751, 2, 2, []int{256, 512, 1024, 2048, 4096})))
-			fmt.Println(experiments.RenderAblation("Ablation: INZ interleave vs truncation (8k atoms)",
-				experiments.AblationINZInterleave(8000)))
-			fmt.Println(experiments.RenderAblation("Ablation: fence vs pairwise barrier (128 nodes)",
-				experiments.AblationFenceVsPairwise(topo.Shape{X: 4, Y: 4, Z: 8})))
-			fmt.Println(experiments.RenderAblation("Ablation: randomized vs fixed dimension orders",
-				experiments.AblationDimOrders(60)))
-		case "all":
-			for _, n := range []string{"tables", "fig5", "fig6", "fig9a", "fig9b", "fig11", "fig12", "ablations"} {
-				run(n)
-			}
-		default:
-			usage()
-			os.Exit(2)
+	selected := experiments.SelectJobs(experiments.Jobs(p), cmd)
+	if len(selected) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	// Stream each result as soon as it and its predecessors finish:
+	// long runs show figures incrementally, in the same byte-identical
+	// order a sequential run would print them.
+	rep, err := runner.RunEmit(selected, *jobs, func(res runner.Result) {
+		fmt.Println(res.Text)
+	})
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "runner: %d jobs on %d workers in %.2fs wall, %.2fs CPU (speedup %.2fx)\n",
+			rep.Jobs, rep.Workers, float64(rep.WallNs)/1e9, float64(rep.CPUNs)/1e9, rep.Speedup)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anton3:", err)
+	}
+	if *jsonPath != "" {
+		if werr := rep.WriteJSON(*jsonPath); werr != nil {
+			fmt.Fprintln(os.Stderr, "anton3:", werr)
+			os.Exit(1)
 		}
 	}
-	run(cmd)
+	if err != nil {
+		os.Exit(1)
+	}
 }
 
 func usage() {
@@ -86,5 +86,11 @@ subcommands:
   fig11      network fence barrier latency vs hops
   fig12      machine activity plots (compression off/on)
   ablations  design-choice ablations from DESIGN.md
-  all        everything above`)
+  all        everything above
+
+flags (after the subcommand):
+  -jobs N    worker count; independent experiments run in parallel (0 = all cores)
+  -json P    write the runner report (per-job rows and timings) to P
+  -q         suppress the runner summary line on stderr
+  -pairs, -atoms, -steps, -warm, -measure   experiment sizes (see -h)`)
 }

@@ -1,0 +1,3 @@
+module anton3
+
+go 1.21

@@ -44,8 +44,8 @@ type Fig5Result struct {
 
 // Fig5 measures average one-way end-to-end latency versus inter-node hops
 // on the 128-node machine with pairsPerHop sampled GC pairs per distance.
-func Fig5(pairsPerHop int) Fig5Result {
-	rng := sim.NewRand(99)
+// rng picks the sampled pairs; the paper runs use sim.NewRand(Fig5Seed).
+func Fig5(rng *sim.Rand, pairsPerHop int) Fig5Result {
 	var res Fig5Result
 	var xs, ys []float64
 	for h := 0; h <= Shape128.Diameter(); h++ {

@@ -4,12 +4,17 @@ import (
 	"strings"
 	"testing"
 
+	"anton3/internal/sim"
 	"anton3/internal/stats"
+	"anton3/internal/testutil"
 	"anton3/internal/topo"
 )
 
+// sz picks the full-size or -short variant of a test parameter.
+var sz = testutil.Size
+
 func TestFig5ShapeMatchesPaper(t *testing.T) {
-	r := Fig5(3)
+	r := Fig5(sim.NewRand(Fig5Seed), sz(3, 2))
 	if len(r.Points) != 9 {
 		t.Fatalf("expected hops 0..8, got %d points", len(r.Points))
 	}
@@ -45,7 +50,7 @@ func TestFig6BreakdownConsistent(t *testing.T) {
 }
 
 func TestFig9aBands(t *testing.T) {
-	pts := Fig9a([]int{8000}, 2, 2)
+	pts := Fig9a([]int{sz(8000, 6000)}, 2, 2)
 	p := pts[0]
 	if p.INZOnly < 0.28 || p.INZOnly > 0.44 {
 		t.Errorf("INZ reduction %.2f outside band", p.INZOnly)
@@ -62,7 +67,7 @@ func TestFig9aBands(t *testing.T) {
 }
 
 func TestFig9bSpeedupDirection(t *testing.T) {
-	pts := Fig9b([]int{8000}, 2)
+	pts := Fig9b([]int{sz(8000, 6000)}, 2)
 	if pts[0].Speedup < 1.1 {
 		t.Errorf("speedup %.2f, want > 1.1", pts[0].Speedup)
 	}
@@ -90,7 +95,7 @@ func TestFig11MatchesPaper(t *testing.T) {
 
 func TestFig12SmallSystem(t *testing.T) {
 	// Full 32751-atom runs live in the benchmarks; keep the test fast.
-	r := Fig12(6000, 2)
+	r := Fig12(sz(6000, 4000), 2)
 	if r.StepOffNs <= r.StepOnNs {
 		t.Errorf("compression did not speed up the step: %.0f vs %.0f", r.StepOffNs, r.StepOnNs)
 	}
@@ -112,7 +117,9 @@ func TestTablesRender(t *testing.T) {
 }
 
 func TestAblationPredictorOrderMonotone(t *testing.T) {
-	rows := AblationPredictorOrder(4000, 3, 2)
+	// The quadratic predictor needs a full 3-step history before it can
+	// beat linear, so short mode shrinks atoms but keeps the warmup.
+	rows := AblationPredictorOrder(sz(4000, 3000), 3, 2)
 	if len(rows) != 3 {
 		t.Fatal("want 3 rows")
 	}
@@ -123,7 +130,7 @@ func TestAblationPredictorOrderMonotone(t *testing.T) {
 }
 
 func TestAblationPcacheSizeMonotone(t *testing.T) {
-	rows := AblationPcacheSize(8000, 2, 2, []int{64, 1024})
+	rows := AblationPcacheSize(sz(8000, 5000), 2, 2, []int{64, 1024})
 	if rows[1].Value <= rows[0].Value {
 		t.Fatalf("bigger cache should reduce more: %+v", rows)
 	}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"anton3/internal/runner"
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+)
+
+// Fig5Seed is the pair-sampling seed of the paper runs of Figure 5.
+const Fig5Seed = 99
+
+// Params sizes every experiment job. The zero value is not useful; start
+// from DefaultParams (the sizes cmd/anton3 has always used) and override.
+type Params struct {
+	Fig5Pairs    int   // sampled GC pairs per hop count
+	Fig9aSizes   []int // atom counts for the traffic-reduction sweep
+	Fig9aWarm    int   // warmup steps excluded from the fig9a window
+	Fig9aMeasure int   // measured steps in the fig9a window
+	Fig9bSizes   []int // atom counts for the speedup sweep
+	Fig9bSteps   int   // timesteps per fig9b sample
+	Fig12Atoms   int   // the paper's activity-plot system size
+	Fig12Steps   int   // timesteps for fig12 (last one is traced)
+
+	AblPredictorAtoms int   // predictor-order ablation system size
+	AblPcacheAtoms    int   // pcache size-sweep system size
+	AblPcacheSizes    []int // pcache capacities swept
+	AblINZAtoms       int   // INZ interleave ablation system size
+	AblDimWrites      int   // writes per node in the dimension-order ablation
+}
+
+// DefaultParams returns the paper-scale configuration.
+func DefaultParams() Params {
+	return Params{
+		Fig5Pairs:    6,
+		Fig9aSizes:   []int{8000, 16000, 32751, 65000, 131000},
+		Fig9aWarm:    3,
+		Fig9aMeasure: 4,
+		Fig9bSizes:   []int{8000, 16000, 32751, 65000},
+		Fig9bSteps:   3,
+		Fig12Atoms:   32751,
+		Fig12Steps:   3,
+
+		AblPredictorAtoms: 8000,
+		AblPcacheAtoms:    32751,
+		AblPcacheSizes:    []int{256, 512, 1024, 2048, 4096},
+		AblINZAtoms:       8000,
+		AblDimWrites:      60,
+	}
+}
+
+// Jobs returns every table, figure and ablation of the paper as runner
+// jobs, in the order cmd/anton3 has always printed them. Each job owns a
+// private machine and kernel, so the set can run on any worker count with
+// byte-identical output. Cost hints come from measured paper-scale
+// runtimes and only shape dispatch order, never output.
+func Jobs(p Params) []runner.Job {
+	return []runner.Job{
+		{Name: "tables", Seed: 1, Cost: 0.1,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				return runner.Output{Text: Tables()}, nil
+			}},
+		{Name: "fig5", Seed: Fig5Seed, Cost: 3,
+			Run: func(rng *sim.Rand) (runner.Output, error) {
+				r := Fig5(rng, p.Fig5Pairs)
+				return runner.Output{Text: r.Render(), Data: r}, nil
+			}},
+		{Name: "fig6", Seed: 2, Cost: 0.1,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				r := Fig6()
+				return runner.Output{Text: r.Render(), Data: r}, nil
+			}},
+		{Name: "fig9a", Seed: 3, Cost: 30,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				pts := Fig9a(p.Fig9aSizes, p.Fig9aWarm, p.Fig9aMeasure)
+				return runner.Output{Text: RenderFig9a(pts), Data: pts}, nil
+			}},
+		{Name: "fig9b", Seed: 4, Cost: 20,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				pts := Fig9b(p.Fig9bSizes, p.Fig9bSteps)
+				return runner.Output{Text: RenderFig9b(pts), Data: pts}, nil
+			}},
+		{Name: "fig11", Seed: 5, Cost: 1,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				r := Fig11()
+				return runner.Output{Text: r.Render(), Data: r}, nil
+			}},
+		{Name: "fig12", Seed: 6, Cost: 15,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				r := Fig12(p.Fig12Atoms, p.Fig12Steps)
+				return runner.Output{Text: r.Render(), Data: r}, nil
+			}},
+		{Name: "ablation-predictor-order", Seed: 7, Cost: 2,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				rows := AblationPredictorOrder(p.AblPredictorAtoms, 3, 3)
+				return runner.Output{
+					Text: RenderAblation(fmt.Sprintf("Ablation: pcache predictor order (%d atoms)", p.AblPredictorAtoms), rows),
+					Data: rows,
+				}, nil
+			}},
+		{Name: "ablation-pcache-size", Seed: 8, Cost: 10,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				rows := AblationPcacheSize(p.AblPcacheAtoms, 2, 2, p.AblPcacheSizes)
+				return runner.Output{
+					Text: RenderAblation(fmt.Sprintf("Ablation: pcache size sweep (%d atoms)", p.AblPcacheAtoms), rows),
+					Data: rows,
+				}, nil
+			}},
+		{Name: "ablation-inz-interleave", Seed: 9, Cost: 0.5,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				rows := AblationINZInterleave(p.AblINZAtoms)
+				return runner.Output{
+					Text: RenderAblation(fmt.Sprintf("Ablation: INZ interleave vs truncation (%d atoms)", p.AblINZAtoms), rows),
+					Data: rows,
+				}, nil
+			}},
+		{Name: "ablation-fence-vs-pairwise", Seed: 10, Cost: 1,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				rows := AblationFenceVsPairwise(topo.Shape{X: 4, Y: 4, Z: 8})
+				return runner.Output{
+					Text: RenderAblation("Ablation: fence vs pairwise barrier (128 nodes)", rows),
+					Data: rows,
+				}, nil
+			}},
+		{Name: "ablation-dim-orders", Seed: 11, Cost: 1,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				rows := AblationDimOrders(p.AblDimWrites)
+				return runner.Output{
+					Text: RenderAblation("Ablation: randomized vs fixed dimension orders", rows),
+					Data: rows,
+				}, nil
+			}},
+	}
+}
+
+// SelectJobs filters jobs by subcommand name: a job name matches itself,
+// and "ablations" matches every ablation-* job. It returns nil when
+// nothing matches.
+func SelectJobs(jobs []runner.Job, name string) []runner.Job {
+	if name == "all" {
+		return jobs
+	}
+	var out []runner.Job
+	for _, j := range jobs {
+		if j.Name == name ||
+			(name == "ablations" && strings.HasPrefix(j.Name, "ablation-")) {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -35,8 +35,10 @@ func TestGlobalBarrierNear504ns(t *testing.T) {
 
 func TestBarrierScalesLinearly(t *testing.T) {
 	// Fit hops 1..8 and check slope ~51.8 ns/hop, intercept ~91.2 ns.
+	// The relationship is deterministic and linear, so the -short lane
+	// samples every other hop without loosening the fit bounds.
 	var xs, ys []float64
-	for h := 1; h <= 8; h++ {
+	for h := 1; h <= 8; h += sz(1, 2) {
 		m := New(DefaultConfig(shape128))
 		r := m.Barrier(h)
 		xs = append(xs, float64(h))

@@ -6,9 +6,13 @@ import (
 	"anton3/internal/md"
 	"anton3/internal/serdes"
 	"anton3/internal/sim"
+	"anton3/internal/testutil"
 	"anton3/internal/topo"
 	"anton3/internal/trace"
 )
+
+// sz picks the full-size or -short variant of a test parameter.
+var sz = testutil.Size
 
 func engineFor(t *testing.T, atoms int, comp serdes.CompressConfig) *Engine {
 	t.Helper()
@@ -33,10 +37,11 @@ func TestTimestepCompletes(t *testing.T) {
 func TestCompressionSpeedsUpStep(t *testing.T) {
 	// Figure 9b: enabling compression speeds up the step (1.18-1.62x for
 	// the paper's sizes). Direction and rough magnitude must hold.
-	off := engineFor(t, 8000, serdes.CompressConfig{})
-	on := engineFor(t, 8000, serdes.CompressConfig{INZ: true, Pcache: true})
+	atoms := sz(8000, 6000)
+	off := engineFor(t, atoms, serdes.CompressConfig{})
+	on := engineFor(t, atoms, serdes.CompressConfig{INZ: true, Pcache: true})
 	var tOff, tOn sim.Time
-	for i := 0; i < 3; i++ { // warm the caches, keep the last step
+	for i := 0; i < sz(3, 2); i++ { // warm the caches, keep the last step
 		tOff = off.RunStep().Duration
 		tOn = on.RunStep().Duration
 	}
@@ -47,8 +52,8 @@ func TestCompressionSpeedsUpStep(t *testing.T) {
 }
 
 func TestStepTimeScalesWithAtoms(t *testing.T) {
-	small := engineFor(t, 4000, serdes.CompressConfig{})
-	large := engineFor(t, 16000, serdes.CompressConfig{})
+	small := engineFor(t, sz(4000, 3000), serdes.CompressConfig{})
+	large := engineFor(t, sz(16000, 9000), serdes.CompressConfig{})
 	ts := small.RunStep().Duration
 	tl := large.RunStep().Duration
 	if tl <= ts {
@@ -107,8 +112,8 @@ func TestActivityTraceRecorded(t *testing.T) {
 }
 
 func TestEngineChannelCachesStaySynced(t *testing.T) {
-	e := engineFor(t, 4000, serdes.CompressConfig{INZ: true, Pcache: true})
-	for i := 0; i < 3; i++ {
+	e := engineFor(t, sz(4000, 3000), serdes.CompressConfig{INZ: true, Pcache: true})
+	for i := 0; i < sz(3, 2); i++ {
 		e.RunStep()
 	}
 	if err := e.m.CheckChannelSync(); err != nil {
@@ -118,7 +123,7 @@ func TestEngineChannelCachesStaySynced(t *testing.T) {
 
 func TestEngineDeterministic(t *testing.T) {
 	run := func() sim.Time {
-		e := engineFor(t, 3000, serdes.CompressConfig{INZ: true})
+		e := engineFor(t, sz(3000, 2000), serdes.CompressConfig{INZ: true})
 		e.RunStep()
 		return e.RunStep().Duration
 	}

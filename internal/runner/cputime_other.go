@@ -1,0 +1,7 @@
+//go:build !unix
+
+package runner
+
+// processCPUNs is unavailable off unix; Run falls back to the sum of
+// per-job wall times as its serial estimate.
+func processCPUNs() int64 { return 0 }

@@ -1,0 +1,215 @@
+// Package runner executes independent experiments on a worker pool.
+//
+// Every experiment in this repository is a pure function of its
+// configuration and seed: it builds a private sim.Kernel, runs it, and
+// returns rows. Kernels share no state, so independent experiments can run
+// on separate goroutines — the runner exploits that to use every core while
+// keeping output deterministic:
+//
+//   - each Job carries its own seed, from which the runner derives a fresh
+//     sim.Rand; random streams never depend on which worker runs the job or
+//     in what order jobs finish;
+//   - results are collected by job index and rendered in submission order,
+//     so the concatenated output is byte-identical to a sequential run.
+//
+// The aggregated Report records per-job wall times, the pool's wall time,
+// and the speedup over the serial estimate, and serializes to JSON for CI
+// artifacts (BENCH_runner.json).
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"anton3/internal/sim"
+)
+
+// Output is what a job's Run function produces: a rendered table/figure
+// plus the typed rows behind it.
+type Output struct {
+	Text string // rendered table or figure, as printed by cmd/anton3
+	Data any    // typed result rows, serialized into the JSON artifact
+}
+
+// Job is one self-contained experiment.
+type Job struct {
+	// Name identifies the job in reports and artifacts ("fig5", "tables").
+	Name string
+	// Seed derives the job's private RNG. Jobs with the same seed produce
+	// identical streams regardless of worker or completion order.
+	Seed uint64
+	// Cost is a relative expected-runtime hint. The pool starts expensive
+	// jobs first so the long pole overlaps the small jobs instead of
+	// trailing them; it has no effect on output, only on wall time.
+	Cost float64
+	// Run executes the experiment with the job's seeded RNG.
+	Run func(rng *sim.Rand) (Output, error)
+}
+
+// Result is one job's outcome inside a Report.
+type Result struct {
+	Name   string `json:"name"`
+	Seed   uint64 `json:"seed"`
+	Text   string `json:"text"`
+	Data   any    `json:"data,omitempty"`
+	WallNs int64  `json:"wall_ns"`
+	Err    string `json:"err,omitempty"`
+}
+
+// Report aggregates a pool run.
+//
+// Speedup is CPUNs/WallNs where process CPU accounting is available
+// (unix): the CPU seconds a run consumes equal its sequential wall time
+// for these CPU-bound jobs, so the ratio is the true wall-clock speedup
+// and honestly reports ~1x on a single-core machine. SerialNs — the sum
+// of per-job wall times — is the fallback divisor elsewhere; it inflates
+// under core oversubscription, so prefer the CPU-based number.
+type Report struct {
+	Jobs     int      `json:"jobs"`
+	Workers  int      `json:"workers"`
+	WallNs   int64    `json:"wall_ns"`   // pool wall-clock time
+	CPUNs    int64    `json:"cpu_ns"`    // process CPU consumed by the run
+	SerialNs int64    `json:"serial_ns"` // sum of per-job wall times
+	Speedup  float64  `json:"speedup"`   // CPUNs / WallNs (SerialNs fallback)
+	Results  []Result `json:"results"`   // in submission order
+}
+
+// Run executes jobs on a pool of workers goroutines and returns the
+// aggregated report. workers <= 0 means runtime.GOMAXPROCS(0). The first
+// job error is returned (the report still carries every result, including
+// the failed job's Err); a panicking job propagates its panic.
+func Run(jobs []Job, workers int) (Report, error) {
+	return RunEmit(jobs, workers, nil)
+}
+
+// RunEmit is Run with streaming: emit (if non-nil) is called on the
+// caller's goroutine with each Result in submission order, as soon as
+// that result and all earlier ones have completed. A driver printing
+// emitted texts produces output byte-identical to a sequential run
+// without waiting for the whole pool to drain.
+func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	rep := Report{Jobs: len(jobs), Workers: workers, Results: make([]Result, len(jobs))}
+	if len(jobs) == 0 {
+		rep.Speedup = 1
+		return rep, nil
+	}
+
+	// Dispatch expensive jobs first so the longest job starts at t=0.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jobs[order[a]].Cost > jobs[order[b]].Cost
+	})
+
+	start := time.Now()
+	cpu0 := processCPUNs()
+	next := make(chan int)
+	done := make(chan int, len(jobs)) // buffered: workers never block here
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				job := jobs[idx]
+				res := Result{Name: job.Name, Seed: job.Seed}
+				t0 := time.Now()
+				out, err := job.Run(sim.NewRand(job.Seed))
+				res.WallNs = time.Since(t0).Nanoseconds()
+				if err != nil {
+					res.Err = err.Error()
+				} else {
+					res.Text = out.Text
+					res.Data = out.Data
+				}
+				rep.Results[idx] = res
+				done <- idx
+			}
+		}()
+	}
+	go func() {
+		for _, idx := range order {
+			next <- idx
+		}
+		close(next)
+	}()
+	// Emit the contiguous completed prefix as completions arrive; the
+	// receive on done orders each Results write before its read here.
+	completed := make([]bool, len(jobs))
+	emitted := 0
+	for range jobs {
+		completed[<-done] = true
+		for emitted < len(jobs) && completed[emitted] {
+			if emit != nil {
+				emit(rep.Results[emitted])
+			}
+			emitted++
+		}
+	}
+	wg.Wait()
+	rep.WallNs = time.Since(start).Nanoseconds()
+	if cpu1 := processCPUNs(); cpu1 > cpu0 {
+		rep.CPUNs = cpu1 - cpu0
+	}
+
+	var firstErr error
+	for _, r := range rep.Results {
+		rep.SerialNs += r.WallNs
+		if r.Err != "" && firstErr == nil {
+			firstErr = fmt.Errorf("runner: job %q: %s", r.Name, r.Err)
+		}
+	}
+	if rep.WallNs > 0 {
+		work := rep.CPUNs
+		if work == 0 {
+			work = rep.SerialNs
+		}
+		rep.Speedup = float64(work) / float64(rep.WallNs)
+	}
+	return rep, firstErr
+}
+
+// RenderAll concatenates the rendered outputs in submission order, one
+// blank line between jobs — exactly what a sequential driver would print.
+func (r Report) RenderAll() string {
+	var out []byte
+	for _, res := range r.Results {
+		out = append(out, res.Text...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// WriteJSON writes the report as indented JSON to path.
+func (r Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadJSON loads a report previously written with WriteJSON. Data fields
+// round-trip as generic JSON values (maps/slices), not the original types.
+func ReadJSON(path string) (Report, error) {
+	var rep Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	err = json.Unmarshal(b, &rep)
+	return rep, err
+}

@@ -1,0 +1,200 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anton3/internal/sim"
+)
+
+// noisyJobs builds jobs whose output depends only on their own seed, like
+// every experiment in this repository: each draws from its private RNG and
+// sleeps a pseudo-random amount so completion order scrambles under
+// parallelism.
+func noisyJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job%02d", i),
+			Seed: uint64(1000 + i),
+			Cost: float64(i % 3),
+			Run: func(rng *sim.Rand) (Output, error) {
+				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				v := rng.Uint64()
+				return Output{
+					Text: fmt.Sprintf("job %d drew %d", i, v),
+					Data: map[string]uint64{"draw": v},
+				}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := Run(noisyJobs(16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(noisyJobs(16), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.RenderAll() != par.RenderAll() {
+		t.Fatalf("parallel output differs from sequential:\n--- seq ---\n%s\n--- par ---\n%s",
+			seq.RenderAll(), par.RenderAll())
+	}
+	for i := range seq.Results {
+		if seq.Results[i].Name != par.Results[i].Name {
+			t.Fatalf("result order differs at %d: %s vs %s",
+				i, seq.Results[i].Name, par.Results[i].Name)
+		}
+	}
+	if par.Workers != 8 || seq.Workers != 1 {
+		t.Fatalf("workers recorded wrong: %d, %d", par.Workers, seq.Workers)
+	}
+}
+
+func TestSeedsIndependentOfWorkerCount(t *testing.T) {
+	// The RNG handed to a job must be a function of the job's seed only.
+	draws := func(workers int) []uint64 {
+		var out [8]uint64
+		jobs := make([]Job, 8)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Seed: uint64(i * 7),
+				Run: func(rng *sim.Rand) (Output, error) {
+					out[i] = rng.Uint64()
+					return Output{}, nil
+				}}
+		}
+		if _, err := Run(jobs, workers); err != nil {
+			t.Fatal(err)
+		}
+		return out[:]
+	}
+	a, b := draws(1), draws(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d drew %d at 1 worker but %d at 4", i, a[i], b[i])
+		}
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	boom := errors.New("kernel exploded")
+	jobs := noisyJobs(6)
+	jobs[3].Run = func(*sim.Rand) (Output, error) { return Output{}, boom }
+	rep, err := Run(jobs, 4)
+	if err == nil {
+		t.Fatal("job error not propagated")
+	}
+	if want := `runner: job "job03": kernel exploded`; err.Error() != want {
+		t.Fatalf("err = %q, want %q", err, want)
+	}
+	// The report still carries every result, with the failure marked.
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(rep.Results))
+	}
+	if rep.Results[3].Err != "kernel exploded" {
+		t.Fatalf("failed job not marked: %+v", rep.Results[3])
+	}
+	if rep.Results[2].Text == "" || rep.Results[4].Text == "" {
+		t.Fatal("healthy jobs discarded on sibling failure")
+	}
+}
+
+func TestCostHintOrdersDispatchNotOutput(t *testing.T) {
+	var first atomic.Value
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Cost: float64(i),
+			Run: func(*sim.Rand) (Output, error) {
+				first.CompareAndSwap(nil, i)
+				return Output{Text: fmt.Sprintf("out%d", i)}, nil
+			}}
+	}
+	rep, err := Run(jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := first.Load().(int); got != 3 {
+		t.Fatalf("most expensive job dispatched %dth, want first", got)
+	}
+	if rep.Results[0].Text != "out0" || rep.Results[3].Text != "out3" {
+		t.Fatalf("output not in submission order: %+v", rep.Results)
+	}
+}
+
+func TestEmitStreamsInSubmissionOrder(t *testing.T) {
+	jobs := noisyJobs(12)
+	var emitted []string
+	rep, err := RunEmit(jobs, 4, func(r Result) {
+		emitted = append(emitted, r.Name)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != len(jobs) {
+		t.Fatalf("emitted %d of %d results", len(emitted), len(jobs))
+	}
+	for i, name := range emitted {
+		if name != jobs[i].Name {
+			t.Fatalf("emit order broke at %d: got %s, want %s (full order %v)",
+				i, name, jobs[i].Name, emitted)
+		}
+	}
+	if rep.Results[11].Name != "job11" {
+		t.Fatalf("report results wrong: %+v", rep.Results[11])
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := Run(noisyJobs(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_runner.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Jobs != rep.Jobs || back.Workers != rep.Workers ||
+		back.WallNs != rep.WallNs || back.SerialNs != rep.SerialNs ||
+		back.CPUNs != rep.CPUNs || back.Speedup != rep.Speedup {
+		t.Fatalf("header fields did not round-trip:\n%+v\n%+v", rep, back)
+	}
+	for i := range rep.Results {
+		if back.Results[i].Name != rep.Results[i].Name ||
+			back.Results[i].Seed != rep.Results[i].Seed ||
+			back.Results[i].Text != rep.Results[i].Text ||
+			back.Results[i].WallNs != rep.Results[i].WallNs {
+			t.Fatalf("result %d did not round-trip:\n%+v\n%+v",
+				i, rep.Results[i], back.Results[i])
+		}
+	}
+	if back.Results[0].Data == nil {
+		t.Fatal("data payload lost in round-trip")
+	}
+}
+
+func TestEmptyAndOversubscribed(t *testing.T) {
+	rep, err := Run(nil, 8)
+	if err != nil || rep.Jobs != 0 || rep.Speedup != 1 {
+		t.Fatalf("empty run: %+v, %v", rep, err)
+	}
+	// More workers than jobs must clamp, not deadlock.
+	rep, err = Run(noisyJobs(2), 64)
+	if err != nil || rep.Workers != 2 {
+		t.Fatalf("oversubscribed run: workers=%d, %v", rep.Workers, err)
+	}
+}

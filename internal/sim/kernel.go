@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Handler is a callback invoked when an event fires.
 type Handler func()
 
@@ -11,33 +9,23 @@ type event struct {
 	fn  Handler
 }
 
-// eventHeap orders events by time, breaking ties by scheduling order.
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is a discrete-event simulation executive. It is not safe for
 // concurrent use; all components of one simulated machine share one Kernel
 // and run in a single goroutine, which is what makes runs deterministic.
+// Distinct Kernels share nothing, so independent simulations may run on
+// separate goroutines concurrently (the runner package relies on this).
+//
+// The pending-event queue is a 4-ary min-heap of indices into an event pool
+// with a free list, rather than container/heap: no interface boxing on the
+// push/pop path, sift swaps move 4-byte indices instead of events, and
+// fired slots are recycled, so scheduling is allocation-free once the pool
+// has grown to the simulation's peak queue depth.
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    []int32 // 4-ary min-heap, ordered by (pool[i].at, pool[i].seq)
+	pool    []event
+	free    []int32 // recycled pool slots
 	stopped bool
 	fired   uint64
 }
@@ -53,7 +41,58 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) EventsFired() uint64 { return k.fired }
 
 // Pending reports the number of scheduled-but-unfired events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// before reports whether pool slot a fires strictly before slot b.
+func (k *Kernel) before(a, b int32) bool {
+	ea, eb := &k.pool[a], &k.pool[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	slot := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !k.before(slot, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = slot
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	slot := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for j := c + 1; j < end; j++ {
+			if k.before(h[j], h[min]) {
+				min = j
+			}
+		}
+		if !k.before(h[min], slot) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = slot
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // it is always a modeling bug.
@@ -62,7 +101,17 @@ func (k *Kernel) At(at Time, fn Handler) {
 		panic("sim: event scheduled in the past")
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+	var idx int32
+	if n := len(k.free) - 1; n >= 0 {
+		idx = k.free[n]
+		k.free = k.free[:n]
+	} else {
+		k.pool = append(k.pool, event{})
+		idx = int32(len(k.pool) - 1)
+	}
+	k.pool[idx] = event{at: at, seq: k.seq, fn: fn}
+	k.heap = append(k.heap, idx)
+	k.siftUp(len(k.heap) - 1)
 }
 
 // After schedules fn to run delay picoseconds from now.
@@ -76,15 +125,30 @@ func (k *Kernel) After(delay Time, fn Handler) {
 // Stop makes Run return after the currently executing event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// step pops and fires the earliest event. It must not be called on an
+// empty queue.
+func (k *Kernel) step() {
+	slot := k.heap[0]
+	e := k.pool[slot]
+	k.pool[slot].fn = nil // drop the closure so the GC can collect it
+	k.free = append(k.free, slot)
+	last := len(k.heap) - 1
+	k.heap[0] = k.heap[last]
+	k.heap = k.heap[:last]
+	if last > 0 {
+		k.siftDown(0)
+	}
+	k.now = e.at
+	k.fired++
+	e.fn()
+}
+
 // Run executes events until the queue drains or Stop is called. It returns
 // the time of the last executed event.
 func (k *Kernel) Run() Time {
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
-		e := heap.Pop(&k.events).(event)
-		k.now = e.at
-		k.fired++
-		e.fn()
+	for len(k.heap) > 0 && !k.stopped {
+		k.step()
 	}
 	return k.now
 }
@@ -94,18 +158,15 @@ func (k *Kernel) Run() Time {
 // before the deadline.
 func (k *Kernel) RunUntil(deadline Time) bool {
 	k.stopped = false
-	for len(k.events) > 0 && !k.stopped {
-		if k.events[0].at > deadline {
+	for len(k.heap) > 0 && !k.stopped {
+		if k.pool[k.heap[0]].at > deadline {
 			k.now = deadline
 			return false
 		}
-		e := heap.Pop(&k.events).(event)
-		k.now = e.at
-		k.fired++
-		e.fn()
+		k.step()
 	}
 	if k.now < deadline {
 		k.now = deadline
 	}
-	return len(k.events) == 0
+	return len(k.heap) == 0
 }

@@ -1,0 +1,88 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelScheduleDrain measures the raw Schedule+Pop cost: fill the
+// queue with out-of-order timestamps, then drain it. This is the access
+// pattern of a machine warming up and finishing a timestep.
+func BenchmarkKernelScheduleDrain(b *testing.B) {
+	const n = 4096
+	r := NewRand(1)
+	times := make([]Time, n)
+	for i := range times {
+		times[i] = Time(r.Intn(1 << 20))
+	}
+	fn := func() {}
+	k := NewKernel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := k.Now()
+		for _, t := range times {
+			k.At(base+t, fn)
+		}
+		k.Run()
+	}
+}
+
+// TestKernelScheduleZeroAllocs pins the hot-path guarantee the 4-ary
+// pool heap exists for: once the pool has grown to the peak queue depth,
+// Schedule (At/After) and Pop (step inside Run) do not allocate.
+func TestKernelScheduleZeroAllocs(t *testing.T) {
+	const depth = 512
+	k := NewKernel()
+	r := NewRand(3)
+	fn := func() {}
+	// Warm the pool, heap and free list to their peak sizes.
+	for i := 0; i < depth; i++ {
+		k.At(Time(r.Intn(1<<16)), fn)
+	}
+	k.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		base := k.Now()
+		for i := 0; i < depth; i++ {
+			k.At(base+Time(r.Intn(1<<16)), fn)
+		}
+		k.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("warm Schedule/Run allocated %.1f times per %d events, want 0", avg, depth)
+	}
+}
+
+// TestKernelFreeListBoundsPool checks that fired events recycle their pool
+// slots: scheduling in waves must not grow the pool past the peak depth.
+func TestKernelFreeListBoundsPool(t *testing.T) {
+	const depth = 64
+	k := NewKernel()
+	fn := func() {}
+	for wave := 0; wave < 50; wave++ {
+		base := k.Now()
+		for i := 0; i < depth; i++ {
+			k.At(base+Time(i), fn)
+		}
+		k.Run()
+	}
+	if got := len(k.pool); got > depth {
+		t.Fatalf("pool grew to %d slots across waves of %d events; free list not reusing", got, depth)
+	}
+}
+
+// BenchmarkKernelSteadyState measures the hot loop every simulation spends
+// its life in: events firing and rescheduling follow-ups, with the queue at
+// a steady depth — the pattern of routers, adapters and pipelines in flight.
+func BenchmarkKernelSteadyState(b *testing.B) {
+	const depth = 1024
+	k := NewKernel()
+	r := NewRand(2)
+	var tick Handler
+	tick = func() { k.After(Time(1+r.Intn(997)), tick) }
+	for i := 0; i < depth; i++ {
+		k.At(Time(r.Intn(997)), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.step()
+	}
+}

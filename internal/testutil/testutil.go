@@ -1,0 +1,15 @@
+// Package testutil holds helpers shared by the simulator test suites.
+// It imports testing, so only _test.go files should depend on it.
+package testutil
+
+import "testing"
+
+// Size selects between the full-size and -short variants of a test
+// parameter. Short mode shrinks systems rather than skipping tests, so
+// the CI fast lane still exercises every assertion.
+func Size(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}

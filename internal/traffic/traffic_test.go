@@ -7,10 +7,14 @@ import (
 	"anton3/internal/pcache"
 	"anton3/internal/serdes"
 	"anton3/internal/sim"
+	"anton3/internal/testutil"
 	"anton3/internal/topo"
 )
 
 var shape8 = topo.Shape{X: 2, Y: 2, Z: 2}
+
+// sz picks the full-size or -short variant of a test parameter.
+var sz = testutil.Size
 
 // run replays steps of a shared trajectory through a fresh replayer with
 // the given compression config, measuring after warmup.
@@ -45,7 +49,7 @@ func TestBaselineNoReduction(t *testing.T) {
 
 func TestINZAloneInPaperBand(t *testing.T) {
 	// Figure 9a: INZ alone reduces off-chip traffic by 32-40%.
-	st := run(t, 8000, 1, 3, serdes.CompressConfig{INZ: true})
+	st := run(t, sz(8000, 5000), 1, sz(3, 2), serdes.CompressConfig{INZ: true})
 	red := st.Reduction()
 	if red < 0.28 || red > 0.44 {
 		t.Fatalf("INZ-only reduction = %.2f, want within ~32-40%% band", red)
@@ -53,8 +57,9 @@ func TestINZAloneInPaperBand(t *testing.T) {
 }
 
 func TestINZPlusPcacheBeatsINZ(t *testing.T) {
-	inz := run(t, 8000, 2, 3, serdes.CompressConfig{INZ: true})
-	both := run(t, 8000, 2, 3, serdes.CompressConfig{INZ: true, Pcache: true})
+	n, measure := sz(8000, 5000), sz(3, 2)
+	inz := run(t, n, 2, measure, serdes.CompressConfig{INZ: true})
+	both := run(t, n, 2, measure, serdes.CompressConfig{INZ: true, Pcache: true})
 	if both.Reduction() <= inz.Reduction()+0.05 {
 		t.Fatalf("pcache adds too little: inz=%.2f both=%.2f",
 			inz.Reduction(), both.Reduction())
@@ -74,8 +79,8 @@ func TestPcacheBenefitShrinksWithAtomCount(t *testing.T) {
 	// EXPERIMENTS.md uses the hardware 1024 entries with the paper's atom
 	// counts.
 	pc := pcache.Config{Entries: 256, Ways: 4, EvictThreshold: 2}
-	small := run(t, 4000, 2, 2, serdes.CompressConfig{INZ: true, Pcache: true, PcacheConfig: pc})
-	large := run(t, 24000, 2, 2, serdes.CompressConfig{INZ: true, Pcache: true, PcacheConfig: pc})
+	small := run(t, sz(4000, 3000), 2, 2, serdes.CompressConfig{INZ: true, Pcache: true, PcacheConfig: pc})
+	large := run(t, sz(24000, 16000), 2, 2, serdes.CompressConfig{INZ: true, Pcache: true, PcacheConfig: pc})
 	if large.Reduction() >= small.Reduction()-0.02 {
 		t.Fatalf("reduction should shrink with size: small=%.2f large=%.2f",
 			small.Reduction(), large.Reduction())
@@ -83,17 +88,18 @@ func TestPcacheBenefitShrinksWithAtomCount(t *testing.T) {
 }
 
 func TestHitRateDropsWithAtomCount(t *testing.T) {
-	s := md.NewWater(8000, 300, sim.NewRand(3))
+	steps := sz(4, 3)
+	s := md.NewWater(sz(8000, 6000), 300, sim.NewRand(3))
 	r := NewReplayer(shape8, s.Box, serdes.CompressConfig{INZ: true, Pcache: true})
-	for i := 0; i < 4; i++ {
+	for i := 0; i < steps; i++ {
 		r.ReplayStep(s)
 		s.Step()
 	}
 	hrSmall := r.CacheStats().HitRate()
 
-	s2 := md.NewWater(48000, 300, sim.NewRand(3))
+	s2 := md.NewWater(sz(48000, 32000), 300, sim.NewRand(3))
 	r2 := NewReplayer(shape8, s2.Box, serdes.CompressConfig{INZ: true, Pcache: true})
-	for i := 0; i < 4; i++ {
+	for i := 0; i < steps; i++ {
 		r2.ReplayStep(s2)
 		s2.Step()
 	}
