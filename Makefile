@@ -12,9 +12,10 @@ test:
 	$(GO) test ./...
 
 # The CI fast lane: reduced-size (not skipped) tests under the race
-# detector.
+# detector, plus the netsweep CLI smoke.
 test-short:
 	$(GO) test -short -race ./...
+	$(GO) run ./cmd/anton3 netsweep -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q > /dev/null
 
 # The CI bench lane: every paper artifact once, then a full parallel
 # `all` run refreshing BENCH_runner.json.

@@ -1,21 +1,25 @@
 // Command anton3 regenerates the paper's tables and figures from the
-// simulator. Each subcommand prints measured values next to the published
-// ones. Every experiment owns a private simulation kernel, so independent
-// experiments fan out across cores (-jobs) with byte-identical output to a
-// sequential run; -json records the runner's report for CI artifacts.
+// simulator and explores beyond them. Each subcommand prints measured
+// values next to the published ones. Every experiment owns a private
+// simulation kernel, so independent experiments fan out across cores
+// (-jobs) with byte-identical output to a sequential run; -json records
+// the runner's report for CI artifacts.
 //
 // Usage:
 //
-//	anton3 <tables|fig5|fig6|fig9a|fig9b|fig11|fig12|ablations|all> [flags]
+//	anton3 <tables|fig5|fig6|fig9a|fig9b|fig11|fig12|ablations|netsweep|all> [flags]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"anton3/internal/experiments"
 	"anton3/internal/runner"
+	"anton3/internal/topo"
 )
 
 func main() {
@@ -33,6 +37,10 @@ func main() {
 	steps := fs.Int("steps", 3, "timestep count (fig9b, fig12)")
 	warm := fs.Int("warm", 3, "warmup steps (fig9a)")
 	measure := fs.Int("measure", 4, "measured steps (fig9a)")
+	shapes := fs.String("shapes", "4x4x8,8x8x8", "netsweep torus shapes, comma-separated XxYxZ")
+	loads := fs.String("loads", "0.5,1,2,3,4", "netsweep offered loads, comma-separated")
+	npkts := fs.Int("npkts", 96, "netsweep measured packets per node")
+	nwarm := fs.Int("nwarm", 32, "netsweep warmup packets per node")
 	fs.Parse(os.Args[2:])
 
 	p := experiments.DefaultParams()
@@ -42,6 +50,17 @@ func main() {
 	p.Fig12Steps = *steps
 	p.Fig9aWarm = *warm
 	p.Fig9aMeasure = *measure
+	p.NetPackets = *npkts
+	p.NetWarmup = *nwarm
+	var err error
+	if p.NetShapes, err = parseShapes(*shapes); err != nil {
+		fmt.Fprintln(os.Stderr, "anton3:", err)
+		os.Exit(2)
+	}
+	if p.NetLoads, err = parseLoads(*loads); err != nil {
+		fmt.Fprintln(os.Stderr, "anton3:", err)
+		os.Exit(2)
+	}
 
 	selected := experiments.SelectJobs(experiments.Jobs(p), cmd)
 	if len(selected) == 0 {
@@ -51,9 +70,13 @@ func main() {
 
 	// Stream each result as soon as it and its predecessors finish:
 	// long runs show figures incrementally, in the same byte-identical
-	// order a sequential run would print them.
+	// order a sequential run would print them. Hidden results are the
+	// sharded sub-jobs a reducer folds into one figure; their rows only
+	// appear in the JSON report.
 	rep, err := runner.RunEmit(selected, *jobs, func(res runner.Result) {
-		fmt.Println(res.Text)
+		if !res.Hidden {
+			fmt.Println(res.Text)
+		}
 	})
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "runner: %d jobs on %d workers in %.2fs wall, %.2fs CPU (speedup %.2fx)\n",
@@ -73,6 +96,38 @@ func main() {
 	}
 }
 
+func parseShapes(s string) ([]topo.Shape, error) {
+	var out []topo.Shape
+	for _, part := range strings.Split(s, ",") {
+		dims := strings.Split(strings.TrimSpace(part), "x")
+		if len(dims) != 3 {
+			return nil, fmt.Errorf("bad shape %q (want XxYxZ)", part)
+		}
+		var v [3]int
+		for i, d := range dims {
+			n, err := strconv.Atoi(d)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad shape %q (want XxYxZ)", part)
+			}
+			v[i] = n
+		}
+		out = append(out, topo.Shape{X: v[0], Y: v[1], Z: v[2]})
+	}
+	return out, nil
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad load %q", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `anton3 — regenerate the tables and figures of
 "The Specialized High-Performance Network on Anton 3" (HPCA 2022)
@@ -86,11 +141,14 @@ subcommands:
   fig11      network fence barrier latency vs hops
   fig12      machine activity plots (compression off/on)
   ablations  design-choice ablations from DESIGN.md
+  netsweep   synthetic-load latency sweep: routing policy x traffic pattern
+             x torus shape (incl. 512 nodes; see -shapes/-loads)
   all        everything above
 
 flags (after the subcommand):
   -jobs N    worker count; independent experiments run in parallel (0 = all cores)
   -json P    write the runner report (per-job rows and timings) to P
   -q         suppress the runner summary line on stderr
-  -pairs, -atoms, -steps, -warm, -measure   experiment sizes (see -h)`)
+  -pairs, -atoms, -steps, -warm, -measure   experiment sizes (see -h)
+  -shapes, -loads, -npkts, -nwarm           netsweep grid (see -h)`)
 }

@@ -9,6 +9,7 @@ import (
 	"anton3/internal/machine"
 	"anton3/internal/md"
 	"anton3/internal/pcache"
+	"anton3/internal/route"
 	"anton3/internal/serdes"
 	"anton3/internal/sim"
 	"anton3/internal/topo"
@@ -162,13 +163,14 @@ func AblationFenceVsPairwise(shape topo.Shape) []AblationRow {
 	}
 }
 
-// AblationDimOrders compares randomized six-order oblivious routing against
-// fixed XYZ under a hot uniform-random write load: time to drain the same
-// traffic on the 128-node machine.
+// AblationDimOrders compares the routing policies under a hot
+// uniform-random write load on the 128-node machine: time to drain the
+// same traffic with fixed XYZ, the paper's randomized six orders, and
+// minimal-adaptive routing.
 func AblationDimOrders(writesPerNode int) []AblationRow {
-	run := func(fixed bool) float64 {
+	run := func(pol route.Policy) float64 {
 		cfg := machine.DefaultConfig(Shape128)
-		cfg.ForceXYZOrder = fixed
+		cfg.Policy = pol
 		m := machine.New(cfg)
 		rng := sim.NewRand(4242)
 		nodes := Shape128.Nodes()
@@ -182,7 +184,8 @@ func AblationDimOrders(writesPerNode int) []AblationRow {
 		return m.K.Run().Nanoseconds()
 	}
 	return []AblationRow{
-		{"fixed XYZ order", run(true), "ns drain"},
-		{"randomized 6 orders (hw)", run(false), "ns drain"},
+		{"fixed XYZ order", run(route.XYZ()), "ns drain"},
+		{"randomized 6 orders (hw)", run(route.Random()), "ns drain"},
+		{"minimal adaptive", run(route.MinimalAdaptive()), "ns drain"},
 	}
 }

@@ -46,19 +46,58 @@ type Fig5Result struct {
 // on the 128-node machine with pairsPerHop sampled GC pairs per distance.
 // rng picks the sampled pairs; the paper runs use sim.NewRand(Fig5Seed).
 func Fig5(rng *sim.Rand, pairsPerHop int) Fig5Result {
-	var res Fig5Result
-	var xs, ys []float64
-	for h := 0; h <= Shape128.Diameter(); h++ {
-		var lats []float64
-		for p := 0; p < pairsPerHop; p++ {
-			m := machine.New(machine.DefaultConfig(Shape128))
+	samples := fig5SamplePairs(rng, pairsPerHop)
+	perHop := make([][]float64, len(samples))
+	for h, pairs := range samples {
+		perHop[h] = fig5MeasureHop(pairs)
+	}
+	return fig5Assemble(perHop)
+}
+
+// fig5Pair is one sampled GC pair of the Figure 5 sweep.
+type fig5Pair struct {
+	Src, Dst topo.Coord
+	GCA, GCB int
+}
+
+// fig5SamplePairs draws the per-hop pair samples. The draw sequence (hop
+// major; src, dst, both GC indices per pair) is pinned: it must consume
+// rng exactly as the paper runs always have, so the sharded runner jobs
+// reproduce the historical Fig5 numbers digit for digit.
+func fig5SamplePairs(rng *sim.Rand, pairsPerHop int) [][]fig5Pair {
+	gcs := chip.New(sim.NewClock(2800), chip.DefaultLatencies()).GCs()
+	out := make([][]fig5Pair, Shape128.Diameter()+1)
+	for h := range out {
+		pairs := make([]fig5Pair, pairsPerHop)
+		for p := range pairs {
 			src := Shape128.CoordOf(rng.Intn(Shape128.Nodes()))
 			dst := pickAtDistance(rng, Shape128, src, h)
-			a := m.GC(src, rng.Intn(m.Geom.GCs()))
-			b := m.GC(dst, rng.Intn(m.Geom.GCs()))
-			r := m.PingPong(a, b, 12)
-			lats = append(lats, r.OneWay.Nanoseconds())
+			pairs[p] = fig5Pair{Src: src, Dst: dst, GCA: rng.Intn(gcs), GCB: rng.Intn(gcs)}
 		}
+		out[h] = pairs
+	}
+	return out
+}
+
+// fig5MeasureHop ping-pongs every sampled pair of one hop count, each on a
+// private machine — the unit of work one runner sub-job performs.
+func fig5MeasureHop(pairs []fig5Pair) []float64 {
+	lats := make([]float64, 0, len(pairs))
+	for _, pr := range pairs {
+		m := machine.New(machine.DefaultConfig(Shape128))
+		a := m.GC(pr.Src, pr.GCA)
+		b := m.GC(pr.Dst, pr.GCB)
+		r := m.PingPong(a, b, 12)
+		lats = append(lats, r.OneWay.Nanoseconds())
+	}
+	return lats
+}
+
+// fig5Assemble folds per-hop latency samples into the figure.
+func fig5Assemble(perHop [][]float64) Fig5Result {
+	var res Fig5Result
+	var xs, ys []float64
+	for h, lats := range perHop {
 		avg := stats.Mean(lats)
 		paper := 0.0
 		if h >= 1 {
@@ -303,19 +342,32 @@ type Fig11Result struct {
 // Fig11 measures GC-to-GC fence barrier latency across hop counts on the
 // 128-node machine.
 func Fig11() Fig11Result {
+	ns := make([]float64, Shape128.Diameter()+1)
+	for h := range ns {
+		ns[h] = fig11MeasureHop(h)
+	}
+	return fig11Assemble(ns)
+}
+
+// fig11MeasureHop runs one hop count's barrier on a private machine — the
+// unit of work one runner sub-job performs.
+func fig11MeasureHop(h int) float64 {
+	m := machine.New(machine.DefaultConfig(Shape128))
+	return m.Barrier(h).Latency.Nanoseconds()
+}
+
+// fig11Assemble folds per-hop barrier latencies into the figure.
+func fig11Assemble(ns []float64) Fig11Result {
 	var res Fig11Result
 	var xs, ys []float64
-	for h := 0; h <= Shape128.Diameter(); h++ {
-		m := machine.New(machine.DefaultConfig(Shape128))
-		r := m.Barrier(h)
-		ns := r.Latency.Nanoseconds()
+	for h, v := range ns {
 		paper := 51.5
 		if h >= 1 {
 			paper = 91.2 + 51.8*float64(h)
 			xs = append(xs, float64(h))
-			ys = append(ys, ns)
+			ys = append(ys, v)
 		}
-		res.Points = append(res.Points, Fig11Point{Hops: h, Ns: ns, PaperNs: paper})
+		res.Points = append(res.Points, Fig11Point{Hops: h, Ns: v, PaperNs: paper})
 	}
 	res.Fit = stats.Fit(xs, ys)
 	return res

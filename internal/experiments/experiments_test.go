@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"anton3/internal/runner"
 	"anton3/internal/sim"
 	"anton3/internal/stats"
 	"anton3/internal/testutil"
@@ -166,5 +168,93 @@ func TestAblationDimOrdersHelps(t *testing.T) {
 	// Randomized routing must not be slower than fixed XYZ under load.
 	if rows[1].Value > rows[0].Value*1.02 {
 		t.Fatalf("randomized orders slower than XYZ: %+v", rows)
+	}
+}
+
+func TestJobsRegistryShardsAndNetsweep(t *testing.T) {
+	p := DefaultParams()
+	jobs := Jobs(p)
+	names := map[string]bool{}
+	for _, j := range jobs {
+		names[j.Name] = true
+	}
+	// Fig5/Fig11 hop sweeps are sharded per hop count plus a reducer.
+	for h := 0; h <= Shape128.Diameter(); h++ {
+		for _, fig := range []string{"fig5", "fig11"} {
+			if !names[fmt.Sprintf("%s/h%d", fig, h)] {
+				t.Fatalf("missing shard %s/h%d", fig, h)
+			}
+		}
+	}
+	if !names["fig5"] || !names["fig11"] {
+		t.Fatal("missing figure reducers")
+	}
+	// Netsweep covers every shape x pattern, including a 512-node shape.
+	if !names["netsweep/8x8x8/tornado"] || !names["netsweep/4x4x8/uniform"] {
+		t.Fatalf("missing netsweep jobs: %v", names)
+	}
+
+	sel := SelectJobs(jobs, "fig5")
+	if len(sel) != Shape128.Diameter()+2 {
+		t.Fatalf("SelectJobs(fig5) = %d jobs, want shards + reducer", len(sel))
+	}
+	if sel[len(sel)-1].Name != "fig5" {
+		t.Fatal("reducer must follow its shards")
+	}
+	sel = SelectJobs(jobs, "netsweep")
+	if len(sel) != len(p.NetShapes)*6 {
+		t.Fatalf("SelectJobs(netsweep) = %d jobs, want %d", len(sel), len(p.NetShapes)*6)
+	}
+	if SelectJobs(jobs, "no-such-job") != nil {
+		t.Fatal("unknown selector should select nothing")
+	}
+}
+
+// TestFig5ShardedMatchesDirect pins the sharding refactor: running the
+// fig5 sub-jobs + reducer through the runner must reproduce the direct
+// Fig5 call digit for digit, at any worker count.
+func TestFig5ShardedMatchesDirect(t *testing.T) {
+	p := DefaultParams()
+	p.Fig5Pairs = sz(2, 1)
+	want := Fig5(sim.NewRand(Fig5Seed), p.Fig5Pairs).Render()
+	for _, workers := range []int{1, 4} {
+		rep, err := runner.Run(SelectJobs(Jobs(p), "fig5"), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.RenderAll(); got != want+"\n" {
+			t.Fatalf("workers=%d: sharded fig5 diverged:\n--- sharded ---\n%s--- direct ---\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestNetsweepSmoke keeps the synthetic-load harness green in the CI fast
+// lane: a tiny full-grid sweep through the runner, byte-identical across
+// worker counts.
+func TestNetsweepSmoke(t *testing.T) {
+	p := DefaultParams()
+	p.NetShapes = []topo.Shape{{X: 2, Y: 2, Z: 2}}
+	p.NetLoads = []float64{0.5, 2}
+	p.NetPackets, p.NetWarmup = sz(16, 8), 4
+	jobs := SelectJobs(Jobs(p), "netsweep")
+	if len(jobs) != 6 {
+		t.Fatalf("want 6 pattern jobs, got %d", len(jobs))
+	}
+	seq, err := runner.Run(jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runner.Run(jobs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.RenderAll() != par.RenderAll() {
+		t.Fatal("netsweep output depends on worker count")
+	}
+	out := seq.RenderAll()
+	for _, want := range []string{"uniform", "bitcomp", "transpose", "tornado", "hotspot", "neighbor", "random", "xyz", "adaptive"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("netsweep output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -3,9 +3,12 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"anton3/internal/route"
 	"anton3/internal/runner"
 	"anton3/internal/sim"
+	"anton3/internal/synth"
 	"anton3/internal/topo"
 )
 
@@ -29,6 +32,11 @@ type Params struct {
 	AblPcacheSizes    []int // pcache capacities swept
 	AblINZAtoms       int   // INZ interleave ablation system size
 	AblDimWrites      int   // writes per node in the dimension-order ablation
+
+	NetShapes  []topo.Shape // netsweep torus shapes (one job per shape x pattern)
+	NetLoads   []float64    // offered loads swept per cell
+	NetPackets int          // measured packets per node per run
+	NetWarmup  int          // per-node packets injected before measurement
 }
 
 // DefaultParams returns the paper-scale configuration.
@@ -48,51 +56,146 @@ func DefaultParams() Params {
 		AblPcacheSizes:    []int{256, 512, 1024, 2048, 4096},
 		AblINZAtoms:       8000,
 		AblDimWrites:      60,
+
+		// The paper's 128-node measurement machine plus the 512-node
+		// production scale; 8x8x16 (1024 nodes) is a -shapes flag away.
+		NetShapes:  []topo.Shape{{X: 4, Y: 4, Z: 8}, {X: 8, Y: 8, Z: 8}},
+		NetLoads:   []float64{0.5, 1, 2, 3, 4},
+		NetPackets: 96,
+		NetWarmup:  32,
 	}
 }
 
+// fig5Jobs shards the Figure 5 hop sweep: pair samples are drawn in the
+// historical rng order (lazily, once, on whichever worker needs them
+// first), each hop count measures on its own worker (hidden sub-jobs),
+// and a reducer assembles the figure — so the runner load-balances the
+// sweep with output identical to the sequential run.
+func fig5Jobs(p Params) []runner.Job {
+	samples := sync.OnceValue(func() [][]fig5Pair {
+		return fig5SamplePairs(sim.NewRand(Fig5Seed), p.Fig5Pairs)
+	})
+	hops := Shape128.Diameter() + 1
+	jobs := make([]runner.Job, 0, hops+1)
+	needs := make([]string, hops)
+	for h := 0; h < hops; h++ {
+		h := h
+		name := fmt.Sprintf("fig5/h%d", h)
+		needs[h] = name
+		jobs = append(jobs, runner.Job{
+			Name: name, Seed: Fig5Seed, Cost: 0.4, Hidden: true,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				return runner.Output{Data: fig5MeasureHop(samples()[h])}, nil
+			}})
+	}
+	jobs = append(jobs, runner.Job{
+		Name: "fig5", Seed: Fig5Seed, Cost: 0.01, Needs: needs,
+		Reduce: func(_ *sim.Rand, in []runner.Result) (runner.Output, error) {
+			perHop := make([][]float64, len(in))
+			for i, res := range in {
+				if res.Err != "" {
+					return runner.Output{}, fmt.Errorf("%s: %s", res.Name, res.Err)
+				}
+				perHop[i] = res.Data.([]float64)
+			}
+			r := fig5Assemble(perHop)
+			return runner.Output{Text: r.Render(), Data: r}, nil
+		}})
+	return jobs
+}
+
+// fig11Jobs shards the Figure 11 barrier sweep the same way.
+func fig11Jobs() []runner.Job {
+	hops := Shape128.Diameter() + 1
+	jobs := make([]runner.Job, 0, hops+1)
+	needs := make([]string, hops)
+	for h := 0; h < hops; h++ {
+		h := h
+		name := fmt.Sprintf("fig11/h%d", h)
+		needs[h] = name
+		jobs = append(jobs, runner.Job{
+			Name: name, Seed: 5, Cost: 0.12, Hidden: true,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				return runner.Output{Data: fig11MeasureHop(h)}, nil
+			}})
+	}
+	jobs = append(jobs, runner.Job{
+		Name: "fig11", Seed: 5, Cost: 0.01, Needs: needs,
+		Reduce: func(_ *sim.Rand, in []runner.Result) (runner.Output, error) {
+			ns := make([]float64, len(in))
+			for i, res := range in {
+				if res.Err != "" {
+					return runner.Output{}, fmt.Errorf("%s: %s", res.Name, res.Err)
+				}
+				ns[i] = res.Data.(float64)
+			}
+			r := fig11Assemble(ns)
+			return runner.Output{Text: r.Render(), Data: r}, nil
+		}})
+	return jobs
+}
+
+// netsweepJobs registers one job per shape x pattern, each sweeping every
+// routing policy across the offered loads. Seeds depend on position only,
+// so the grid decomposes freely across workers.
+func netsweepJobs(p Params) []runner.Job {
+	var jobs []runner.Job
+	for si, shape := range p.NetShapes {
+		for pi, pat := range synth.Patterns() {
+			shape, pat := shape, pat
+			seed := uint64(7000 + 100*si + pi)
+			jobs = append(jobs, runner.Job{
+				Name: fmt.Sprintf("netsweep/%s/%s", shape, pat.Name),
+				Seed: seed,
+				Cost: 0.1 * float64(shape.Nodes()) / 16,
+				Run: func(*sim.Rand) (runner.Output, error) {
+					r := synth.Sweep(shape, route.Policies(), pat, p.NetLoads, p.NetPackets, p.NetWarmup, seed)
+					return runner.Output{Text: r.Render(), Data: r}, nil
+				}})
+		}
+	}
+	return jobs
+}
+
 // Jobs returns every table, figure and ablation of the paper as runner
-// jobs, in the order cmd/anton3 has always printed them. Each job owns a
-// private machine and kernel, so the set can run on any worker count with
-// byte-identical output. Cost hints come from measured paper-scale
-// runtimes and only shape dispatch order, never output.
+// jobs, in the order cmd/anton3 has always printed them, followed by the
+// netsweep policy/pattern grid. Each job owns a private machine and
+// kernel, so the set can run on any worker count with byte-identical
+// output. Cost hints come from measured paper-scale runtimes and only
+// shape dispatch order, never output.
 func Jobs(p Params) []runner.Job {
-	return []runner.Job{
+	jobs := []runner.Job{
 		{Name: "tables", Seed: 1, Cost: 0.1,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				return runner.Output{Text: Tables()}, nil
 			}},
-		{Name: "fig5", Seed: Fig5Seed, Cost: 3,
-			Run: func(rng *sim.Rand) (runner.Output, error) {
-				r := Fig5(rng, p.Fig5Pairs)
-				return runner.Output{Text: r.Render(), Data: r}, nil
-			}},
-		{Name: "fig6", Seed: 2, Cost: 0.1,
+	}
+	jobs = append(jobs, fig5Jobs(p)...)
+	jobs = append(jobs,
+		runner.Job{Name: "fig6", Seed: 2, Cost: 0.1,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				r := Fig6()
 				return runner.Output{Text: r.Render(), Data: r}, nil
 			}},
-		{Name: "fig9a", Seed: 3, Cost: 30,
+		runner.Job{Name: "fig9a", Seed: 3, Cost: 30,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				pts := Fig9a(p.Fig9aSizes, p.Fig9aWarm, p.Fig9aMeasure)
 				return runner.Output{Text: RenderFig9a(pts), Data: pts}, nil
 			}},
-		{Name: "fig9b", Seed: 4, Cost: 20,
+		runner.Job{Name: "fig9b", Seed: 4, Cost: 20,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				pts := Fig9b(p.Fig9bSizes, p.Fig9bSteps)
 				return runner.Output{Text: RenderFig9b(pts), Data: pts}, nil
 			}},
-		{Name: "fig11", Seed: 5, Cost: 1,
-			Run: func(*sim.Rand) (runner.Output, error) {
-				r := Fig11()
-				return runner.Output{Text: r.Render(), Data: r}, nil
-			}},
-		{Name: "fig12", Seed: 6, Cost: 15,
+	)
+	jobs = append(jobs, fig11Jobs()...)
+	jobs = append(jobs,
+		runner.Job{Name: "fig12", Seed: 6, Cost: 15,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				r := Fig12(p.Fig12Atoms, p.Fig12Steps)
 				return runner.Output{Text: r.Render(), Data: r}, nil
 			}},
-		{Name: "ablation-predictor-order", Seed: 7, Cost: 2,
+		runner.Job{Name: "ablation-predictor-order", Seed: 7, Cost: 2,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				rows := AblationPredictorOrder(p.AblPredictorAtoms, 3, 3)
 				return runner.Output{
@@ -100,7 +203,7 @@ func Jobs(p Params) []runner.Job {
 					Data: rows,
 				}, nil
 			}},
-		{Name: "ablation-pcache-size", Seed: 8, Cost: 10,
+		runner.Job{Name: "ablation-pcache-size", Seed: 8, Cost: 10,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				rows := AblationPcacheSize(p.AblPcacheAtoms, 2, 2, p.AblPcacheSizes)
 				return runner.Output{
@@ -108,7 +211,7 @@ func Jobs(p Params) []runner.Job {
 					Data: rows,
 				}, nil
 			}},
-		{Name: "ablation-inz-interleave", Seed: 9, Cost: 0.5,
+		runner.Job{Name: "ablation-inz-interleave", Seed: 9, Cost: 0.5,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				rows := AblationINZInterleave(p.AblINZAtoms)
 				return runner.Output{
@@ -116,7 +219,7 @@ func Jobs(p Params) []runner.Job {
 					Data: rows,
 				}, nil
 			}},
-		{Name: "ablation-fence-vs-pairwise", Seed: 10, Cost: 1,
+		runner.Job{Name: "ablation-fence-vs-pairwise", Seed: 10, Cost: 1,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				rows := AblationFenceVsPairwise(topo.Shape{X: 4, Y: 4, Z: 8})
 				return runner.Output{
@@ -124,20 +227,23 @@ func Jobs(p Params) []runner.Job {
 					Data: rows,
 				}, nil
 			}},
-		{Name: "ablation-dim-orders", Seed: 11, Cost: 1,
+		runner.Job{Name: "ablation-dim-orders", Seed: 11, Cost: 1.5,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				rows := AblationDimOrders(p.AblDimWrites)
 				return runner.Output{
-					Text: RenderAblation("Ablation: randomized vs fixed dimension orders", rows),
+					Text: RenderAblation("Ablation: routing policy under uniform-random load", rows),
 					Data: rows,
 				}, nil
 			}},
-	}
+	)
+	jobs = append(jobs, netsweepJobs(p)...)
+	return jobs
 }
 
-// SelectJobs filters jobs by subcommand name: a job name matches itself,
-// and "ablations" matches every ablation-* job. It returns nil when
-// nothing matches.
+// SelectJobs filters jobs by subcommand name: a job matches itself or any
+// job it was sharded into (name-prefix "<selector>/", which also selects
+// the reducer and every netsweep cell), and "ablations" matches every
+// ablation-* job. It returns nil when nothing matches.
 func SelectJobs(jobs []runner.Job, name string) []runner.Job {
 	if name == "all" {
 		return jobs
@@ -145,6 +251,7 @@ func SelectJobs(jobs []runner.Job, name string) []runner.Job {
 	var out []runner.Job
 	for _, j := range jobs {
 		if j.Name == name ||
+			strings.HasPrefix(j.Name, name+"/") ||
 			(name == "ablations" && strings.HasPrefix(j.Name, "ablation-")) {
 			out = append(out, j)
 		}

@@ -6,7 +6,6 @@ import (
 	"anton3/internal/chip"
 	"anton3/internal/fence"
 	"anton3/internal/packet"
-	"anton3/internal/route"
 	"anton3/internal/sim"
 )
 
@@ -46,7 +45,7 @@ func (n *Node) fenceOpFor(id, hops int, pattern fence.Pattern, onComplete func(*
 		// Each inbound channel contributes one merged fence per request
 		// VC; the output mask is unused at node granularity.
 		for si := range specs {
-			fr.merge.Configure(si, route.NumRequestVCs, 1)
+			fr.merge.Configure(si, n.m.policy.RequestVCs(), 1)
 		}
 		op.rounds[r] = fr
 	}
@@ -120,7 +119,7 @@ func (n *Node) relayFence(id, r int) {
 		// The receiver identifies the inbound link by its own CA spec:
 		// the channel pointing back toward us.
 		inSpec := chip.ChannelSpec{Dim: cs.Dim, Dir: -cs.Dir, Slice: cs.Slice}
-		for vc := 0; vc < route.NumRequestVCs; vc++ {
+		for vc := 0; vc < n.m.policy.RequestVCs(); vc++ {
 			p := &packet.Packet{
 				ID:        m.nextPktID(),
 				Type:      packet.Fence,

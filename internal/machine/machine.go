@@ -12,6 +12,7 @@ import (
 	"anton3/internal/fence"
 	"anton3/internal/mem"
 	"anton3/internal/packet"
+	"anton3/internal/route"
 	"anton3/internal/serdes"
 	"anton3/internal/sim"
 	"anton3/internal/topo"
@@ -24,10 +25,12 @@ type Config struct {
 	Lat      chip.Latencies
 	Compress serdes.CompressConfig
 	Seed     uint64
-	// ForceXYZOrder disables randomized dimension-order selection for
-	// request packets (the DESIGN.md routing ablation): every request
-	// follows XYZ, concentrating load instead of spreading it.
-	ForceXYZOrder bool
+	// Policy selects the request routing policy (order selection, per-hop
+	// output choice, VC provisioning). nil means route.Random(), the
+	// paper's randomized minimal oblivious routing; route.XYZ() is the
+	// DESIGN.md fixed-order ablation, route.MinimalAdaptive() the
+	// load-adaptive alternative the paper argues against.
+	Policy route.Policy
 }
 
 // DefaultConfig returns the production configuration for a given torus
@@ -44,13 +47,14 @@ func DefaultConfig(shape topo.Shape) Config {
 
 // Machine is a simulated Anton 3 machine.
 type Machine struct {
-	cfg   Config
-	K     *sim.Kernel
-	Clock sim.Clock
-	Geom  *chip.Geometry
-	nodes []*Node
-	rng   *sim.Rand
-	pktID uint64
+	cfg    Config
+	K      *sim.Kernel
+	Clock  sim.Clock
+	Geom   *chip.Geometry
+	nodes  []*Node
+	rng    *sim.Rand
+	policy route.Policy
+	pktID  uint64
 
 	fenceAlloc fence.Allocator
 }
@@ -71,10 +75,14 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("machine: invalid shape %v", cfg.Shape))
 	}
 	m := &Machine{
-		cfg:   cfg,
-		K:     sim.NewKernel(),
-		Clock: sim.NewClock(cfg.ClockMHz),
-		rng:   sim.NewRand(cfg.Seed),
+		cfg:    cfg,
+		K:      sim.NewKernel(),
+		Clock:  sim.NewClock(cfg.ClockMHz),
+		rng:    sim.NewRand(cfg.Seed),
+		policy: cfg.Policy,
+	}
+	if m.policy == nil {
+		m.policy = route.Random()
 	}
 	m.Geom = chip.New(m.Clock, cfg.Lat)
 	specs := chip.AllChannelSpecs(cfg.Shape)
@@ -105,6 +113,9 @@ func New(cfg Config) *Machine {
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Policy returns the active routing policy (never nil).
+func (m *Machine) Policy() route.Policy { return m.policy }
 
 // Shape returns the torus shape.
 func (m *Machine) Shape() topo.Shape { return m.cfg.Shape }

@@ -22,31 +22,32 @@ func (m *Machine) sliceFor(p *packet.Packet) int {
 	return 1
 }
 
-// steps computes the hop sequence for p per its traffic class: requests get
-// a uniformly random dimension order (minimal oblivious routing); responses
-// are XYZ mesh-restricted.
-func (m *Machine) steps(p *packet.Packet) []topo.Step {
-	if p.Type.Class() == packet.Response {
-		return route.ResponseRoute(m.cfg.Shape, p.SrcNode, p.DstNode)
+// loadView reports, to an adaptive policy deciding at node `at`, the
+// serialization backlog (in picoseconds) of each outbound channel on the
+// packet's slice. This is the full-machine analog of router credit
+// occupancy: a channel whose busy horizon runs far past now is a channel
+// whose downstream credits would be exhausted.
+func (m *Machine) loadView(at topo.Coord, slice int) route.LoadView {
+	n := m.Node(at)
+	return func(dim topo.Dim, dir int) int64 {
+		backlog := n.out[chip.ChannelSpec{Dim: dim, Dir: dir, Slice: slice}].Busy() - m.K.Now()
+		if backlog < 0 {
+			return 0
+		}
+		return int64(backlog)
 	}
-	p.Order = route.PickOrder(m.rng)
-	if m.cfg.ForceXYZOrder {
-		p.Order = topo.OrderXYZ
-	}
-	// Direction ties (even rings) balance across both physical links;
-	// position/force packets break ties by atom ID so their channel (and
-	// particle cache) stays stable step to step.
-	plusOnTie := m.rng.Intn(2) == 0
-	if p.Type == packet.Position || p.Type == packet.Force {
-		plusOnTie = p.AtomID&2 != 0
-	}
-	return topo.RouteTie(m.cfg.Shape, p.SrcNode, p.DstNode, p.Order, plusOnTie)
 }
 
 // Send walks p through the network: inject at the source chip, cross
 // channels hop by hop (transiting edge networks at intermediate chips), and
 // apply the packet at the destination SRAM. deliver, if non-nil, runs at
 // the destination node after the SRAM update.
+//
+// Request packets consult the machine's routing policy twice over: at
+// injection for the dimension order, and at every hop for the output
+// choice, with a live load view — so adaptive policies react to congestion
+// as the packet encounters it. Response packets always follow the XYZ
+// mesh-restricted route on the response VC, outside the policy's reach.
 func (m *Machine) Send(p *packet.Packet, deliver func()) {
 	p.ID = m.nextPktID()
 	p.Injected = m.K.Now()
@@ -63,50 +64,87 @@ func (m *Machine) Send(p *packet.Packet, deliver func()) {
 		return
 	}
 
-	steps := m.steps(p)
 	slice := m.sliceFor(p)
-	nodeSeq := make([]*Node, 0, len(steps)+1)
-	nodeSeq = append(nodeSeq, src)
-	cur := p.SrcNode
-	for _, st := range steps {
-		cur = m.cfg.Shape.Neighbor(cur, st.Dim, st.Dir)
-		nodeSeq = append(nodeSeq, m.Node(cur))
+	// next picks the packet's step out of node cur, or ok=false at the
+	// destination. Responses replay a precomputed mesh route (possibly
+	// non-minimal, so it cannot be re-derived hop by hop); requests ask
+	// the policy, which sees the current channel backlog at cur.
+	var next func(cur topo.Coord) (topo.Step, bool)
+	if p.Type.Class() == packet.Response {
+		steps := route.ResponseRoute(m.cfg.Shape, p.SrcNode, p.DstNode)
+		i := 0
+		next = func(topo.Coord) (topo.Step, bool) {
+			if i == len(steps) {
+				return topo.Step{}, false
+			}
+			st := steps[i]
+			i++
+			return st, true
+		}
+	} else {
+		p.Order = m.policy.Order(m.rng)
+		// Direction ties (even rings) balance across both physical links;
+		// position/force packets break ties by atom ID so their channel
+		// (and particle cache) stays stable step to step.
+		plusOnTie := m.rng.Intn(2) == 0
+		if p.Type == packet.Position || p.Type == packet.Force {
+			plusOnTie = p.AtomID&2 != 0
+		}
+		// Only adaptive policies read the load view; skip building the
+		// per-decision closure for the oblivious ones.
+		adaptive := m.policy.Adaptive()
+		next = func(cur topo.Coord) (topo.Step, bool) {
+			var view route.LoadView
+			if adaptive {
+				view = m.loadView(cur, slice)
+			}
+			return m.policy.NextStep(m.cfg.Shape, cur, p.DstNode, p.Order, plusOnTie, view)
+		}
 	}
 
-	spec := func(i int) chip.ChannelSpec {
-		return chip.ChannelSpec{Dim: steps[i].Dim, Dir: steps[i].Dir, Slice: slice}
+	spec := func(st topo.Step) chip.ChannelSpec {
+		return chip.ChannelSpec{Dim: st.Dim, Dir: st.Dir, Slice: slice}
 	}
 	// inSpec is the receiver-side spec of the channel just crossed: the
 	// receiver's CA for the link toward the sender.
-	inSpec := func(i int) chip.ChannelSpec {
-		return chip.ChannelSpec{Dim: steps[i].Dim, Dir: -steps[i].Dir, Slice: slice}
+	inSpec := func(st topo.Step) chip.ChannelSpec {
+		return chip.ChannelSpec{Dim: st.Dim, Dir: -st.Dir, Slice: slice}
 	}
 
-	var hop func(i int) func(*packet.Packet)
-	hop = func(i int) func(*packet.Packet) {
-		node := nodeSeq[i+1] // node reached after crossing channel i
-		if i == len(steps)-1 {
-			return func(q *packet.Packet) {
-				lat := m.Geom.EjectLatency(inSpec(i), q.DstCore)
-				m.K.After(lat, func() {
-					m.apply(node, q)
-					if deliver != nil {
-						deliver()
-					}
-				})
-			}
-		}
-		return func(q *packet.Packet) {
-			lat := m.Geom.TransitLatency(inSpec(i), spec(i+1))
+	// arrive handles q landing at node cur having crossed a channel whose
+	// receiver-side spec is in: eject here, or pick the next hop now (the
+	// adaptive decision point) and transit.
+	var arrive func(q *packet.Packet, cur topo.Coord, in chip.ChannelSpec)
+	arrive = func(q *packet.Packet, cur topo.Coord, in chip.ChannelSpec) {
+		node := m.Node(cur)
+		st, ok := next(cur)
+		if !ok {
+			lat := m.Geom.EjectLatency(in, q.DstCore)
 			m.K.After(lat, func() {
-				node.out[spec(i+1)].Send(q, hop(i+1))
+				m.apply(node, q)
+				if deliver != nil {
+					deliver()
+				}
 			})
+			return
 		}
+		out := spec(st)
+		nxt := m.cfg.Shape.Neighbor(cur, st.Dim, st.Dir)
+		lat := m.Geom.TransitLatency(in, out)
+		m.K.After(lat, func() {
+			node.out[out].Send(q, func(r *packet.Packet) { arrive(r, nxt, inSpec(st)) })
+		})
 	}
 
-	inj := m.Geom.InjectLatency(p.SrcCore, spec(0))
+	first, ok := next(p.SrcNode)
+	if !ok {
+		panic("machine: inter-node packet with no first hop")
+	}
+	out := spec(first)
+	nxt := m.cfg.Shape.Neighbor(p.SrcNode, first.Dim, first.Dir)
+	inj := m.Geom.InjectLatency(p.SrcCore, out)
 	m.K.After(inj, func() {
-		src.out[spec(0)].Send(p, hop(0))
+		src.out[out].Send(p, func(q *packet.Packet) { arrive(q, nxt, inSpec(first)) })
 	})
 }
 

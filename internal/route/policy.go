@@ -1,0 +1,199 @@
+package route
+
+import (
+	"fmt"
+
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+)
+
+// LoadView exposes a congestion signal to adaptive policies: the load on
+// the outbound link along (dim, dir) from the node where the routing
+// decision is being made. Larger means busier; the unit is up to the
+// caller (the machine model reports serialization backlog in picoseconds,
+// the router model reports occupied downstream credits). A nil view means
+// "no load information" and adaptive policies fall back to a fixed
+// preference order.
+type LoadView func(dim topo.Dim, dir int) int64
+
+// Policy is a request-packet routing policy: it picks the dimension order
+// recorded on the packet, chooses each hop's output, and assigns virtual
+// channels. Implementations must be stateless (one Policy value is shared
+// by every node of a machine and by concurrently running machines); all
+// randomness comes from the rng the caller passes in.
+//
+// Response packets are outside the Policy's jurisdiction: they always
+// follow the XYZ mesh-restricted route (ResponseRoute) on the dedicated
+// response VC, which is what lets the paper provision a single response VC.
+type Policy interface {
+	// Name identifies the policy in configs, CLI flags and reports.
+	Name() string
+	// Order picks the dimension order for a new request packet. Policies
+	// that randomize draw from rng; deterministic policies must not touch
+	// it. Adaptive policies return the order used for VC accounting.
+	Order(rng *sim.Rand) topo.DimOrder
+	// NextStep chooses the next hop for a request at cur headed to dst.
+	// o and plusOnTie are the per-packet decisions made at injection
+	// (dimension order and even-ring tie direction); view reports current
+	// output-link load (possibly nil). It returns ok=false iff cur == dst.
+	// Every returned step must be minimal: policies may choose *which*
+	// profitable dimension to advance, never to take a non-minimal hop.
+	NextStep(s topo.Shape, cur, dst topo.Coord, o topo.DimOrder, plusOnTie bool, view LoadView) (topo.Step, bool)
+	// Adaptive reports whether NextStep consults the load view. Callers
+	// on hot paths use it to skip building a view (a per-decision
+	// closure) for oblivious policies, which would ignore it anyway.
+	Adaptive() bool
+	// VC returns the request VC for a packet labeled with order o whose
+	// current dimension has (or has not) crossed its dateline. Assignments
+	// must stay within [0, RequestVCs()) and keep the two order rotation
+	// groups on disjoint VCs — the structural deadlock-freedom argument of
+	// Section III-B2 (property-tested in policy_test.go).
+	VC(o topo.DimOrder, crossedDateline bool) int
+	// RequestVCs is the number of request VCs the policy provisions. The
+	// fence engine sends one fence copy per request VC, so this threads
+	// through barrier behavior too.
+	RequestVCs() int
+}
+
+// oblivious is the family of dimension-order policies: a fixed order, or
+// one of the six drawn uniformly per packet when fixed is nil. It ignores
+// network load entirely ("routes are randomized independent of network
+// load", Section III-B).
+type oblivious struct {
+	name  string
+	fixed *topo.DimOrder
+}
+
+// Random returns the paper's production policy: minimal oblivious routing
+// with a uniformly random dimension order per request packet. This is the
+// machine.Config default.
+func Random() Policy { return oblivious{name: "random"} }
+
+// XYZ returns the deterministic dimension-order policy: every request
+// follows XYZ, concentrating load instead of spreading it (the DESIGN.md
+// routing ablation, formerly the machine.Config.ForceXYZOrder special
+// case).
+func XYZ() Policy {
+	o := topo.OrderXYZ
+	return oblivious{name: "xyz", fixed: &o}
+}
+
+func (p oblivious) Name() string { return p.name }
+
+func (p oblivious) Order(rng *sim.Rand) topo.DimOrder {
+	if p.fixed != nil {
+		return *p.fixed
+	}
+	return PickOrder(rng)
+}
+
+func (p oblivious) Adaptive() bool { return false }
+
+func (p oblivious) NextStep(s topo.Shape, cur, dst topo.Coord, o topo.DimOrder, plusOnTie bool, _ LoadView) (topo.Step, bool) {
+	return obliviousNext(s, cur, dst, o, plusOnTie)
+}
+
+func (p oblivious) VC(o topo.DimOrder, crossedDateline bool) int {
+	return RequestVC(o, crossedDateline)
+}
+
+func (p oblivious) RequestVCs() int { return NumRequestVCs }
+
+// obliviousNext advances the first dimension in order o that still
+// separates cur from dst, taking the minimal direction around the ring.
+// Replaying it hop by hop reproduces topo.RouteTie(s, src, dst, o,
+// plusOnTie) exactly: the even-ring tie only occurs on the first hop of a
+// dimension, and after that hop the remaining delta commits to the chosen
+// direction.
+func obliviousNext(s topo.Shape, cur, dst topo.Coord, o topo.DimOrder, plusOnTie bool) (topo.Step, bool) {
+	d := s.Delta(cur, dst)
+	for _, dim := range o {
+		n := d.Get(dim)
+		if n == 0 {
+			continue
+		}
+		dir := 1
+		if n < 0 {
+			dir, n = -1, -n
+		}
+		if !plusOnTie && 2*n == s.Get(dim) {
+			dir = -dir
+		}
+		return topo.Step{Dim: dim, Dir: dir}, true
+	}
+	return topo.Step{}, false
+}
+
+// adaptive is the minimal-adaptive policy the paper argues against at
+// Anton 3's scale: among the dimensions that still make minimal progress
+// (topo.LegalNextSteps), take the one whose output link is least loaded
+// right now. With no load information it degenerates to XYZ preference.
+// The order label (used only for VC accounting) is fixed to XYZ and no
+// rng is consumed.
+type adaptive struct{}
+
+// MinimalAdaptive returns the load-adaptive minimal policy: per hop, pick
+// the legal next dimension with the lowest output-link load.
+func MinimalAdaptive() Policy { return adaptive{} }
+
+func (adaptive) Name() string { return "adaptive" }
+
+func (adaptive) Order(*sim.Rand) topo.DimOrder { return topo.OrderXYZ }
+
+func (adaptive) Adaptive() bool { return true }
+
+func (adaptive) NextStep(s topo.Shape, cur, dst topo.Coord, _ topo.DimOrder, _ bool, view LoadView) (topo.Step, bool) {
+	var buf [6]topo.Step
+	cands := topo.LegalNextSteps(s, cur, dst, buf[:0])
+	if len(cands) == 0 {
+		return topo.Step{}, false
+	}
+	best := cands[0]
+	if view != nil {
+		bestLoad := view(best.Dim, best.Dir)
+		for _, st := range cands[1:] {
+			if l := view(st.Dim, st.Dir); l < bestLoad {
+				best, bestLoad = st, l
+			}
+		}
+	}
+	return best, true
+}
+
+func (adaptive) VC(o topo.DimOrder, crossedDateline bool) int {
+	return RequestVC(o, crossedDateline)
+}
+
+func (adaptive) RequestVCs() int { return NumRequestVCs }
+
+// Policies lists every built-in policy, default first.
+func Policies() []Policy {
+	return []Policy{Random(), XYZ(), MinimalAdaptive()}
+}
+
+// PolicyByName resolves a policy by its Name, for CLI flags and configs.
+func PolicyByName(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("route: unknown policy %q (have random, xyz, adaptive)", name)
+}
+
+// Walk replays a policy's hop decisions from src to dst without a network:
+// the step sequence a packet would take under a static load view. It is
+// the reference used by tests and by callers that need a whole path up
+// front (view may be nil).
+func Walk(p Policy, s topo.Shape, src, dst topo.Coord, o topo.DimOrder, plusOnTie bool, view LoadView) []topo.Step {
+	steps := make([]topo.Step, 0, s.HopDist(src, dst))
+	cur := src
+	for {
+		st, ok := p.NextStep(s, cur, dst, o, plusOnTie, view)
+		if !ok {
+			return steps
+		}
+		steps = append(steps, st)
+		cur = s.Neighbor(cur, st.Dim, st.Dir)
+	}
+}

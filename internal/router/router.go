@@ -27,7 +27,10 @@ const (
 )
 
 // RouteFunc decides the output port and VC for a packet arriving on inPort.
-type RouteFunc func(p *packet.Packet, inPort, inVC int) (outPort, outVC int)
+// The router it runs inside is passed in so adaptive functions can consult
+// live congestion state — Occupancy for input-queue pressure and Credits
+// for downstream space — while oblivious functions simply ignore it.
+type RouteFunc func(r *Router, p *packet.Packet, inPort, inVC int) (outPort, outVC int)
 
 // Sink consumes packets that exit the network at this router.
 type Sink func(p *packet.Packet)
@@ -151,6 +154,21 @@ func (r *Router) queuedFlits(p, vc int) int {
 	return n
 }
 
+// Occupancy reports the flits currently queued on input port p, VC vc —
+// the per-port/VC congestion signal adaptive RouteFuncs steer by.
+func (r *Router) Occupancy(p, vc int) int { return r.queuedFlits(p, vc) }
+
+// Credits reports the downstream queue space (in flits) available on
+// output port out, VC vc. An adaptive RouteFunc picks the output whose
+// credits run deepest; a credit-starved output means the next hop's input
+// queue is full.
+func (r *Router) Credits(out, vc int) int { return r.credits[out][vc] }
+
+// Ports and VCs expose the configured radix for RouteFuncs that scan
+// outputs.
+func (r *Router) Ports() int { return r.cfg.Ports }
+func (r *Router) VCs() int   { return r.cfg.VCs }
+
 // pump advances every output that can make progress. Small port counts make
 // the scan cheap; determinism comes from the fixed scan order plus the
 // round-robin pointers.
@@ -177,7 +195,7 @@ func (r *Router) pickCandidate(out int) (*qent, int) {
 				continue
 			}
 			e := q[0]
-			o, ovc := r.cfg.Route(e.pkt, in, vc)
+			o, ovc := r.cfg.Route(r, e.pkt, in, vc)
 			if o != out {
 				continue
 			}

@@ -11,7 +11,7 @@ import (
 var clk = sim.NewClock(2800)
 
 // chainRoute forwards everything to port 1 ("east") keeping the VC.
-func chainRoute(p *packet.Packet, in, vc int) (int, int) { return 1, vc }
+func chainRoute(r *Router, p *packet.Packet, in, vc int) (int, int) { return 1, vc }
 
 // makeChain builds n routers in a line, port 0 = west input, port 1 = east
 // output, terminating in a sink that records arrival times.
@@ -179,7 +179,7 @@ func TestRoundRobinFairness(t *testing.T) {
 	k := sim.NewKernel()
 	r := New(k, Config{Name: "r", Ports: 3, VCs: 1, QueueFlits: 1024,
 		HopCycles: 1, Clock: clk,
-		Route: func(p *packet.Packet, in, vc int) (int, int) { return 2, vc }})
+		Route: func(r *Router, p *packet.Packet, in, vc int) (int, int) { return 2, vc }})
 	var order []uint64
 	r.Terminate(2, func(p *packet.Packet) { order = append(order, p.ID) })
 	for i := 0; i < 5; i++ {
@@ -203,7 +203,7 @@ func TestVCIsolation(t *testing.T) {
 	k := sim.NewKernel()
 	a := New(k, Config{Name: "a", Ports: 2, VCs: 2, QueueFlits: 1024,
 		HopCycles: 1, Clock: clk,
-		Route: func(p *packet.Packet, in, vc int) (int, int) { return 1, vc }})
+		Route: func(r *Router, p *packet.Packet, in, vc int) (int, int) { return 1, vc }})
 	b := New(k, Config{Name: "b", Ports: 2, VCs: 2, QueueFlits: 2,
 		HopCycles: 1, Clock: clk, Route: chainRoute})
 	Connect(a, 1, b, 0, 0)
@@ -267,7 +267,7 @@ func TestCoreNetworkLatency(t *testing.T) {
 
 func TestNewEdgeRouterConfig(t *testing.T) {
 	k := sim.NewKernel()
-	r := NewEdgeRouter(k, "ertr", clk, 6, func(p *packet.Packet, in, vc int) (int, int) { return 0, vc })
+	r := NewEdgeRouter(k, "ertr", clk, 6, func(r *Router, p *packet.Packet, in, vc int) (int, int) { return 0, vc })
 	if r.cfg.VCs != 5 {
 		t.Fatalf("edge router VCs = %d, want 5", r.cfg.VCs)
 	}
@@ -287,3 +287,68 @@ func TestFenceCounterBudget(t *testing.T) {
 }
 
 var _ = topo.Coord{} // keep topo linked for future tests
+
+func TestAdaptiveRouteFuncSteersByCredits(t *testing.T) {
+	// A Y-shaped network: source router a with two equivalent outputs
+	// (ports 1 and 2), each feeding a sink router. The sink behind port 1
+	// is congested (tiny queue, slow drain); an adaptive RouteFunc reading
+	// Credits must shift traffic to port 2.
+	k := sim.NewKernel()
+	adaptive := func(r *Router, p *packet.Packet, in, vc int) (int, int) {
+		if r.Credits(1, vc) >= r.Credits(2, vc) {
+			return 1, vc
+		}
+		return 2, vc
+	}
+	a := New(k, Config{Name: "a", Ports: 3, VCs: 1, QueueFlits: 1024,
+		HopCycles: 1, Clock: clk, Route: adaptive})
+	// The slow branch runs at 1/100th the clock, so its flits serialize
+	// 100x slower and its input queue backs up for real.
+	slow := New(k, Config{Name: "slow", Ports: 2, VCs: 1, QueueFlits: 4,
+		HopCycles: 1, Clock: sim.NewClock(28), Route: chainRoute})
+	fast := New(k, Config{Name: "fast", Ports: 2, VCs: 1, QueueFlits: 4,
+		HopCycles: 1, Clock: clk, Route: chainRoute})
+	Connect(a, 1, slow, 0, 0)
+	Connect(a, 2, fast, 0, 0)
+	viaSlow, viaFast := 0, 0
+	slow.Terminate(1, func(*packet.Packet) { viaSlow++ })
+	fast.Terminate(1, func(*packet.Packet) { viaFast++ })
+	n := 40
+	for i := 0; i < n; i++ {
+		pkt := &packet.Packet{ID: uint64(i)}
+		pkt.SetQuad([4]uint32{1})
+		a.Inject(0, 0, pkt)
+	}
+	k.Run()
+	if viaSlow+viaFast != n {
+		t.Fatalf("delivered %d of %d", viaSlow+viaFast, n)
+	}
+	if viaFast <= viaSlow {
+		t.Fatalf("adaptive RouteFunc did not avoid congestion: slow=%d fast=%d", viaSlow, viaFast)
+	}
+}
+
+func TestOccupancyAndCreditsAccessors(t *testing.T) {
+	k := sim.NewKernel()
+	a := New(k, Config{Name: "a", Ports: 2, VCs: 2, QueueFlits: 8,
+		HopCycles: 1, Clock: clk, Route: chainRoute})
+	b := New(k, Config{Name: "b", Ports: 2, VCs: 2, QueueFlits: 8,
+		HopCycles: 1, Clock: clk, Route: chainRoute})
+	Connect(a, 1, b, 0, 0)
+	if a.Ports() != 2 || a.VCs() != 2 {
+		t.Fatalf("radix accessors broken: %d ports, %d VCs", a.Ports(), a.VCs())
+	}
+	if got := a.Credits(1, 0); got != 8 {
+		t.Fatalf("initial credits = %d, want downstream queue depth 8", got)
+	}
+	if got := a.Occupancy(0, 0); got != 0 {
+		t.Fatalf("empty occupancy = %d", got)
+	}
+	p := &packet.Packet{ID: 1}
+	p.SetQuad([4]uint32{1}) // 2 flits
+	a.Inject(0, 0, p)
+	if got := a.Occupancy(0, 0); got != 2 {
+		t.Fatalf("occupancy after 2-flit inject = %d, want 2", got)
+	}
+	k.Run()
+}

@@ -36,9 +36,10 @@ type Output struct {
 	Data any    // typed result rows, serialized into the JSON artifact
 }
 
-// Job is one self-contained experiment.
+// Job is one self-contained experiment, or a reduction over other jobs.
 type Job struct {
 	// Name identifies the job in reports and artifacts ("fig5", "tables").
+	// Names must be unique within one Run.
 	Name string
 	// Seed derives the job's private RNG. Jobs with the same seed produce
 	// identical streams regardless of worker or completion order.
@@ -47,14 +48,27 @@ type Job struct {
 	// jobs first so the long pole overlaps the small jobs instead of
 	// trailing them; it has no effect on output, only on wall time.
 	Cost float64
-	// Run executes the experiment with the job's seeded RNG.
+	// Hidden marks a job whose Result is recorded in the report but whose
+	// Text is excluded from RenderAll and caller display — the shape of a
+	// sub-job whose rows a Reduce job folds into one figure.
+	Hidden bool
+	// Run executes the experiment with the job's seeded RNG. Exactly one
+	// of Run and Reduce must be set.
 	Run func(rng *sim.Rand) (Output, error)
+	// Needs lists jobs whose Results this job consumes; the pool holds
+	// the job back until all of them have completed, then calls Reduce
+	// with their Results in Needs order. Sharded experiments use this to
+	// split a sweep into per-slice sub-jobs plus one assembling reducer
+	// while keeping output byte-identical at any worker count.
+	Needs  []string
+	Reduce func(rng *sim.Rand, inputs []Result) (Output, error)
 }
 
 // Result is one job's outcome inside a Report.
 type Result struct {
 	Name   string `json:"name"`
 	Seed   uint64 `json:"seed"`
+	Hidden bool   `json:"hidden,omitempty"`
 	Text   string `json:"text"`
 	Data   any    `json:"data,omitempty"`
 	WallNs int64  `json:"wall_ns"`
@@ -90,8 +104,8 @@ func Run(jobs []Job, workers int) (Report, error) {
 // RunEmit is Run with streaming: emit (if non-nil) is called on the
 // caller's goroutine with each Result in submission order, as soon as
 // that result and all earlier ones have completed. A driver printing
-// emitted texts produces output byte-identical to a sequential run
-// without waiting for the whole pool to drain.
+// emitted texts (skipping Hidden ones) produces output byte-identical to
+// a sequential run without waiting for the whole pool to drain.
 func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -105,18 +119,31 @@ func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
 		return rep, nil
 	}
 
-	// Dispatch expensive jobs first so the longest job starts at t=0.
-	order := make([]int, len(jobs))
-	for i := range order {
-		order[i] = i
+	deps, dependents, err := resolveDeps(jobs)
+	if err != nil {
+		return rep, err
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return jobs[order[a]].Cost > jobs[order[b]].Cost
-	})
+
+	// Among ready jobs, dispatch expensive ones first so the longest job
+	// starts as early as its dependencies allow.
+	byCostDesc := func(idxs []int) {
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return jobs[idxs[a]].Cost > jobs[idxs[b]].Cost
+		})
+	}
+	indeg := make([]int, len(jobs))
+	var ready []int
+	for i := range jobs {
+		indeg[i] = len(deps[i])
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	byCostDesc(ready)
 
 	start := time.Now()
 	cpu0 := processCPUNs()
-	next := make(chan int)
+	next := make(chan int, len(jobs)) // buffered: the coordinator never blocks
 	done := make(chan int, len(jobs)) // buffered: workers never block here
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -125,9 +152,22 @@ func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
 			defer wg.Done()
 			for idx := range next {
 				job := jobs[idx]
-				res := Result{Name: job.Name, Seed: job.Seed}
+				res := Result{Name: job.Name, Seed: job.Seed, Hidden: job.Hidden}
 				t0 := time.Now()
-				out, err := job.Run(sim.NewRand(job.Seed))
+				var out Output
+				var err error
+				if job.Reduce != nil {
+					// The receive of each dependency's index on done
+					// ordered its Results write before this job was
+					// pushed onto next.
+					inputs := make([]Result, len(deps[idx]))
+					for i, d := range deps[idx] {
+						inputs[i] = rep.Results[d]
+					}
+					out, err = job.Reduce(sim.NewRand(job.Seed), inputs)
+				} else {
+					out, err = job.Run(sim.NewRand(job.Seed))
+				}
 				res.WallNs = time.Since(t0).Nanoseconds()
 				if err != nil {
 					res.Err = err.Error()
@@ -140,18 +180,33 @@ func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
 			}
 		}()
 	}
-	go func() {
-		for _, idx := range order {
+	dispatched, closed := 0, false
+	dispatch := func(idxs []int) {
+		for _, idx := range idxs {
 			next <- idx
+			dispatched++
 		}
-		close(next)
-	}()
+		if dispatched == len(jobs) && !closed {
+			close(next)
+			closed = true
+		}
+	}
+	dispatch(ready)
 	// Emit the contiguous completed prefix as completions arrive; the
 	// receive on done orders each Results write before its read here.
 	completed := make([]bool, len(jobs))
 	emitted := 0
 	for range jobs {
-		completed[<-done] = true
+		idx := <-done
+		completed[idx] = true
+		var unblocked []int
+		for _, d := range dependents[idx] {
+			if indeg[d]--; indeg[d] == 0 {
+				unblocked = append(unblocked, d)
+			}
+		}
+		byCostDesc(unblocked)
+		dispatch(unblocked)
 		for emitted < len(jobs) && completed[emitted] {
 			if emit != nil {
 				emit(rep.Results[emitted])
@@ -182,11 +237,81 @@ func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
 	return rep, firstErr
 }
 
+// resolveDeps validates names and Needs references and returns, per job,
+// the indices it depends on and the indices depending on it. Unknown
+// names, duplicate names, mis-set Run/Reduce, and dependency cycles are
+// errors — caught before any worker starts.
+func resolveDeps(jobs []Job) (deps, dependents [][]int, err error) {
+	idxByName := make(map[string]int, len(jobs))
+	for i, j := range jobs {
+		if _, dup := idxByName[j.Name]; dup {
+			return nil, nil, fmt.Errorf("runner: duplicate job name %q", j.Name)
+		}
+		idxByName[j.Name] = i
+	}
+	deps = make([][]int, len(jobs))
+	dependents = make([][]int, len(jobs))
+	for i, j := range jobs {
+		if len(j.Needs) == 0 {
+			if j.Run == nil {
+				return nil, nil, fmt.Errorf("runner: job %q has no Run function", j.Name)
+			}
+			if j.Reduce != nil {
+				return nil, nil, fmt.Errorf("runner: job %q sets Reduce without Needs", j.Name)
+			}
+			continue
+		}
+		if j.Reduce == nil || j.Run != nil {
+			return nil, nil, fmt.Errorf("runner: job %q has Needs and must set Reduce (and not Run)", j.Name)
+		}
+		for _, name := range j.Needs {
+			d, ok := idxByName[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("runner: job %q needs unknown job %q", j.Name, name)
+			}
+			if d == i {
+				return nil, nil, fmt.Errorf("runner: job %q needs itself", j.Name)
+			}
+			deps[i] = append(deps[i], d)
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	// Kahn's algorithm: if the peel doesn't consume every job, the rest
+	// form a cycle.
+	indeg := make([]int, len(jobs))
+	var queue []int
+	for i := range jobs {
+		indeg[i] = len(deps[i])
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, d := range dependents[i] {
+			if indeg[d]--; indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if seen != len(jobs) {
+		return nil, nil, fmt.Errorf("runner: dependency cycle among jobs")
+	}
+	return deps, dependents, nil
+}
+
 // RenderAll concatenates the rendered outputs in submission order, one
 // blank line between jobs — exactly what a sequential driver would print.
+// Hidden results (sub-jobs folded by a reducer) are skipped.
 func (r Report) RenderAll() string {
 	var out []byte
 	for _, res := range r.Results {
+		if res.Hidden {
+			continue
+		}
 		out = append(out, res.Text...)
 		out = append(out, '\n')
 	}

@@ -198,3 +198,115 @@ func TestEmptyAndOversubscribed(t *testing.T) {
 		t.Fatalf("oversubscribed run: workers=%d, %v", rep.Workers, err)
 	}
 }
+
+func TestReduceJobSeesInputsInNeedsOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		jobs := []Job{
+			{Name: "shard-a", Seed: 1, Hidden: true, Run: func(*sim.Rand) (Output, error) {
+				time.Sleep(2 * time.Millisecond) // finish after shard-b under parallelism
+				return Output{Text: "hidden-a", Data: 10}, nil
+			}},
+			{Name: "shard-b", Seed: 2, Hidden: true, Run: func(*sim.Rand) (Output, error) {
+				return Output{Text: "hidden-b", Data: 32}, nil
+			}},
+			{Name: "sum", Seed: 3, Needs: []string{"shard-a", "shard-b"},
+				Reduce: func(_ *sim.Rand, in []Result) (Output, error) {
+					if len(in) != 2 || in[0].Name != "shard-a" || in[1].Name != "shard-b" {
+						return Output{}, fmt.Errorf("inputs out of order: %v", in)
+					}
+					return Output{Text: fmt.Sprintf("sum=%d", in[0].Data.(int)+in[1].Data.(int))}, nil
+				}},
+		}
+		rep, err := Run(jobs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want := "sum=42\n"; rep.RenderAll() != want {
+			t.Fatalf("workers=%d: RenderAll = %q, want %q (hidden shards excluded)", workers, rep.RenderAll(), want)
+		}
+		if !rep.Results[0].Hidden || rep.Results[2].Hidden {
+			t.Fatalf("workers=%d: hidden flags not recorded", workers)
+		}
+	}
+}
+
+func TestReduceChainsAndEmitOrder(t *testing.T) {
+	// A diamond: two shards -> mid reducer -> final reducer, plus an
+	// independent job. Emission must still be submission order.
+	jobs := []Job{
+		{Name: "s1", Hidden: true, Run: func(*sim.Rand) (Output, error) { return Output{Data: 1}, nil }},
+		{Name: "s2", Hidden: true, Run: func(*sim.Rand) (Output, error) { return Output{Data: 2}, nil }},
+		{Name: "mid", Hidden: true, Needs: []string{"s1", "s2"},
+			Reduce: func(_ *sim.Rand, in []Result) (Output, error) {
+				return Output{Data: in[0].Data.(int) + in[1].Data.(int)}, nil
+			}},
+		{Name: "final", Needs: []string{"mid"},
+			Reduce: func(_ *sim.Rand, in []Result) (Output, error) {
+				return Output{Text: fmt.Sprintf("final=%d", in[0].Data.(int))}, nil
+			}},
+		{Name: "solo", Run: func(*sim.Rand) (Output, error) { return Output{Text: "solo"}, nil }},
+	}
+	var emitted []string
+	rep, err := RunEmit(jobs, 3, func(r Result) { emitted = append(emitted, r.Name) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "final=3\nsolo\n"; rep.RenderAll() != want {
+		t.Fatalf("RenderAll = %q, want %q", rep.RenderAll(), want)
+	}
+	want := []string{"s1", "s2", "mid", "final", "solo"}
+	if len(emitted) != len(want) {
+		t.Fatalf("emitted %v", emitted)
+	}
+	for i := range want {
+		if emitted[i] != want[i] {
+			t.Fatalf("emit order %v, want %v", emitted, want)
+		}
+	}
+}
+
+func TestDependencyValidation(t *testing.T) {
+	run := func(*sim.Rand) (Output, error) { return Output{}, nil }
+	red := func(*sim.Rand, []Result) (Output, error) { return Output{}, nil }
+	cases := []struct {
+		name string
+		jobs []Job
+	}{
+		{"unknown need", []Job{{Name: "a", Needs: []string{"ghost"}, Reduce: red}}},
+		{"duplicate name", []Job{{Name: "a", Run: run}, {Name: "a", Run: run}}},
+		{"needs without reduce", []Job{{Name: "a", Run: run}, {Name: "b", Needs: []string{"a"}, Run: run}}},
+		{"reduce without needs", []Job{{Name: "a", Run: run, Reduce: red}}},
+		{"no run", []Job{{Name: "a"}}},
+		{"self cycle via pair", []Job{
+			{Name: "a", Needs: []string{"b"}, Reduce: red},
+			{Name: "b", Needs: []string{"a"}, Reduce: red},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.jobs, 2); err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReduceSeesDependencyError(t *testing.T) {
+	jobs := []Job{
+		{Name: "bad", Hidden: true, Run: func(*sim.Rand) (Output, error) {
+			return Output{}, errors.New("shard failed")
+		}},
+		{Name: "agg", Needs: []string{"bad"},
+			Reduce: func(_ *sim.Rand, in []Result) (Output, error) {
+				if in[0].Err != "" {
+					return Output{}, fmt.Errorf("input %s: %s", in[0].Name, in[0].Err)
+				}
+				return Output{Text: "ok"}, nil
+			}},
+	}
+	rep, err := Run(jobs, 2)
+	if err == nil {
+		t.Fatal("expected propagated error")
+	}
+	if rep.Results[1].Err == "" {
+		t.Fatal("reducer should have reported the shard failure")
+	}
+}

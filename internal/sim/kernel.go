@@ -24,6 +24,7 @@ type Kernel struct {
 	now     Time
 	seq     uint64
 	heap    []int32 // 4-ary min-heap, ordered by (pool[i].at, pool[i].seq)
+	rootAt  Time    // pool[heap[0]].at, cached; valid while len(heap) > 0
 	pool    []event
 	free    []int32 // recycled pool slots
 	stopped bool
@@ -112,6 +113,7 @@ func (k *Kernel) At(at Time, fn Handler) {
 	k.pool[idx] = event{at: at, seq: k.seq, fn: fn}
 	k.heap = append(k.heap, idx)
 	k.siftUp(len(k.heap) - 1)
+	k.rootAt = k.pool[k.heap[0]].at
 }
 
 // After schedules fn to run delay picoseconds from now.
@@ -137,6 +139,7 @@ func (k *Kernel) step() {
 	k.heap = k.heap[:last]
 	if last > 0 {
 		k.siftDown(0)
+		k.rootAt = k.pool[k.heap[0]].at
 	}
 	k.now = e.at
 	k.fired++
@@ -155,11 +158,12 @@ func (k *Kernel) Run() Time {
 
 // RunUntil executes events with timestamps <= deadline. Events scheduled
 // beyond the deadline remain queued. It returns true if the queue drained
-// before the deadline.
+// before the deadline. The peek reads the cached root timestamp, so the
+// hot loop touches only the Kernel header — no heap/pool indirection.
 func (k *Kernel) RunUntil(deadline Time) bool {
 	k.stopped = false
 	for len(k.heap) > 0 && !k.stopped {
-		if k.pool[k.heap[0]].at > deadline {
+		if k.rootAt > deadline {
 			k.now = deadline
 			return false
 		}

@@ -43,10 +43,48 @@ func TestKernelScheduleZeroAllocs(t *testing.T) {
 		for i := 0; i < depth; i++ {
 			k.At(base+Time(r.Intn(1<<16)), fn)
 		}
+		// Drain through RunUntil first so the cached-root peek path is
+		// under the same 0-alloc contract, then finish with Run.
+		k.RunUntil(base + 1<<15)
 		k.Run()
 	})
 	if avg != 0 {
 		t.Fatalf("warm Schedule/Run allocated %.1f times per %d events, want 0", avg, depth)
+	}
+}
+
+// TestRunUntilPeeksCachedRoot pins the root-timestamp cache: RunUntil must
+// stop exactly at the cached earliest event, and the cache must track
+// schedule/pop churn (including At calls made while paused mid-drain).
+func TestRunUntilPeeksCachedRoot(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	rec := func() { fired = append(fired, k.Now()) }
+	for _, at := range []Time{50, 10, 30, 70} {
+		k.At(at, rec)
+	}
+	if k.rootAt != 10 {
+		t.Fatalf("rootAt = %v after scheduling, want 10", k.rootAt)
+	}
+	if k.RunUntil(30) {
+		t.Fatal("queue should not have drained by t=30")
+	}
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 30 {
+		t.Fatalf("fired %v, want [10 30]", fired)
+	}
+	if k.rootAt != 50 {
+		t.Fatalf("rootAt = %v mid-drain, want 50", k.rootAt)
+	}
+	// A newly scheduled earlier event must refresh the cache.
+	k.At(40, rec)
+	if k.rootAt != 40 {
+		t.Fatalf("rootAt = %v after At(40), want 40", k.rootAt)
+	}
+	if !k.RunUntil(100) {
+		t.Fatal("queue should have drained")
+	}
+	if len(fired) != 5 || fired[2] != 40 || fired[4] != 70 {
+		t.Fatalf("fired %v", fired)
 	}
 }
 

@@ -1,0 +1,203 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"anton3/internal/machine"
+	"anton3/internal/packet"
+	"anton3/internal/route"
+	"anton3/internal/serdes"
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+)
+
+// RefPacketBits is the wire size of the standard 24-byte counted-write
+// packet (two 96-bit flits), the unit the offered-load normalization is
+// expressed in.
+const RefPacketBits = 192
+
+// RunConfig parameterizes one timed network-only measurement: one shape,
+// one policy, one pattern, one offered load.
+type RunConfig struct {
+	Shape   topo.Shape
+	Policy  route.Policy
+	Pattern Pattern
+	// Load is the offered injection rate per node, normalized to one
+	// channel slice's reference-packet rate: at Load 1.0 every node
+	// injects, on average, one 192-bit packet per channel-slice
+	// serialization interval. Uniform traffic on the 128-node machine
+	// saturates around 3 in these units (12 outbound slices per node /
+	// ~4 average hops).
+	Load float64
+	// Packets is the measured packet count per node; Warmup packets
+	// precede them, excluded from the statistics.
+	Packets int
+	Warmup  int
+	Seed    uint64
+}
+
+// Point is the measured outcome at one offered load.
+type Point struct {
+	Load    float64 `json:"load"`
+	AvgNs   float64 `json:"avg_ns"`
+	P99Ns   float64 `json:"p99_ns"`
+	AvgHops float64 `json:"avg_hops"`
+	// TailNs is the drain tail: how long after the last injection the
+	// network needed to empty. Below saturation it sits near the
+	// unloaded flight latency; past saturation it grows with the backlog
+	// the offered load left behind, making it the crispest saturation
+	// signal at any window length.
+	TailNs float64 `json:"tail_ns"`
+}
+
+// Run injects Pattern traffic at the configured load on a private machine
+// and returns the latency statistics of the measured window. The machine
+// runs with compression off (network-only timing) and the kernel drains
+// completely, so queueing delay past saturation is fully charged to the
+// packets that incurred it. Every random choice derives from cfg.Seed, so
+// results are byte-stable across hosts and worker counts.
+func Run(cfg RunConfig) Point {
+	if cfg.Load <= 0 || cfg.Packets <= 0 {
+		panic("synth: load and packet count must be positive")
+	}
+	mcfg := machine.DefaultConfig(cfg.Shape)
+	mcfg.Compress = serdes.CompressConfig{} // raw wire timing
+	mcfg.Policy = cfg.Policy
+	mcfg.Seed = cfg.Seed
+	m := machine.New(mcfg)
+
+	nodes := cfg.Shape.Nodes()
+	refCh := m.Node(cfg.Shape.CoordOf(0)).ChannelSpecs()[0]
+	base := m.Node(cfg.Shape.CoordOf(0)).Channel(refCh).SerializeTime(RefPacketBits)
+	meanGap := float64(base) / cfg.Load
+
+	total := cfg.Warmup + cfg.Packets
+	var lats []float64
+	var hops int64
+	var injectEnd sim.Time
+	for i := 0; i < nodes; i++ {
+		src := cfg.Shape.CoordOf(i)
+		srcGC := m.GC(src, 0)
+		rng := sim.NewRand(cfg.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15)
+		t := m.K.Now()
+		for k := 0; k < total; k++ {
+			// Poisson arrivals: exponential inter-injection gaps.
+			gap := sim.Time(meanGap * -math.Log(1-rng.Float64()))
+			if gap < 1 {
+				gap = 1
+			}
+			t += gap
+			dst := cfg.Pattern.Dest(cfg.Shape, src, rng)
+			dstGC := m.GC(dst, 0)
+			measured := k >= cfg.Warmup
+			atom := uint32(i*total + k)
+			m.K.At(t, func() {
+				p := &packet.Packet{
+					Type:    packet.Position,
+					SrcNode: src, DstNode: dst,
+					SrcCore: srcGC.ID, DstCore: dstGC.ID,
+					AtomID: atom,
+				}
+				p.SetQuad([4]uint32{atom, 0xfeed, 0xbeef, 0xcafe})
+				t0 := m.K.Now()
+				m.Send(p, func() {
+					if measured {
+						lats = append(lats, (m.K.Now() - t0).Nanoseconds())
+						hops += int64(cfg.Shape.HopDist(src, dst))
+					}
+				})
+			})
+		}
+		if t > injectEnd {
+			injectEnd = t
+		}
+	}
+	drainEnd := m.K.Run()
+
+	if len(lats) != nodes*cfg.Packets {
+		panic(fmt.Sprintf("synth: delivered %d of %d measured packets", len(lats), nodes*cfg.Packets))
+	}
+	sort.Float64s(lats)
+	var sum float64
+	for _, l := range lats {
+		sum += l
+	}
+	return Point{
+		Load:    cfg.Load,
+		AvgNs:   sum / float64(len(lats)),
+		P99Ns:   lats[len(lats)*99/100],
+		AvgHops: float64(hops) / float64(len(lats)),
+		TailNs:  (drainEnd - injectEnd).Nanoseconds(),
+	}
+}
+
+// Curve is one policy's load/latency curve under one pattern.
+type Curve struct {
+	Policy string  `json:"policy"`
+	Points []Point `json:"points"`
+}
+
+// SweepPattern measures one pattern across every policy and offered load
+// on the given shape. Each (policy, load) cell runs on a private machine
+// with a seed derived from cell position only, so the sweep decomposes
+// freely across runner workers without changing a digit.
+func SweepPattern(shape topo.Shape, policies []route.Policy, pat Pattern, loads []float64, packets, warmup int, seed uint64) []Curve {
+	curves := make([]Curve, len(policies))
+	for pi, pol := range policies {
+		c := Curve{Policy: pol.Name()}
+		for li, load := range loads {
+			c.Points = append(c.Points, Run(RunConfig{
+				Shape: shape, Policy: pol, Pattern: pat,
+				Load: load, Packets: packets, Warmup: warmup,
+				Seed: seed + uint64(pi)*1009 + uint64(li)*9176,
+			}))
+		}
+		curves[pi] = c
+	}
+	return curves
+}
+
+// SweepResult is one pattern x shape table of the netsweep experiment.
+type SweepResult struct {
+	Shape   string  `json:"shape"`
+	Nodes   int     `json:"nodes"`
+	Pattern string  `json:"pattern"`
+	Curves  []Curve `json:"curves"`
+}
+
+// Sweep runs SweepPattern and packages the result for reports.
+func Sweep(shape topo.Shape, policies []route.Policy, pat Pattern, loads []float64, packets, warmup int, seed uint64) SweepResult {
+	return SweepResult{
+		Shape:   shape.String(),
+		Nodes:   shape.Nodes(),
+		Pattern: pat.Name,
+		Curves:  SweepPattern(shape, policies, pat, loads, packets, warmup, seed),
+	}
+}
+
+// Render formats the table: one row per offered load, an avg/p99 column
+// pair per policy.
+func (r SweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Netsweep: pattern %s on %s (%d nodes) — one-way latency vs offered load\n",
+		r.Pattern, r.Shape, r.Nodes)
+	fmt.Fprintf(&b, "%6s", "load")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, " %12s %9s", c.Policy+" avg", "p99")
+	}
+	b.WriteByte('\n')
+	if len(r.Curves) == 0 {
+		return b.String()
+	}
+	for i := range r.Curves[0].Points {
+		fmt.Fprintf(&b, "%6.2f", r.Curves[0].Points[i].Load)
+		for _, c := range r.Curves {
+			fmt.Fprintf(&b, " %12.1f %9.1f", c.Points[i].AvgNs, c.Points[i].P99Ns)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -110,6 +110,34 @@ func RouteTie(s Shape, src, dst Coord, o DimOrder, plusOnTie bool) []Step {
 	return steps
 }
 
+// LegalNextSteps appends to buf the minimal next hops from cur toward dst:
+// for every dimension whose coordinate still differs, the step in the
+// minimal direction around that ring. On an even ring exactly halfway
+// around, both directions are minimal and both are returned (+ first).
+// Results are ordered X, Y, Z, so callers that index or tie-break by
+// position get a deterministic choice. The result is empty iff cur == dst.
+//
+// This is the candidate set an adaptive routing policy chooses from: any
+// returned step keeps the route minimal.
+func LegalNextSteps(s Shape, cur, dst Coord, buf []Step) []Step {
+	d := s.Delta(cur, dst)
+	for _, dim := range OrderXYZ {
+		n := d.Get(dim)
+		if n == 0 {
+			continue
+		}
+		dir := 1
+		if n < 0 {
+			dir, n = -1, -n
+		}
+		buf = append(buf, Step{Dim: dim, Dir: dir})
+		if 2*n == s.Get(dim) {
+			buf = append(buf, Step{Dim: dim, Dir: -dir})
+		}
+	}
+	return buf
+}
+
 // RouteNodes returns the node sequence visited by Route, starting with src
 // and ending with dst.
 func RouteNodes(s Shape, src, dst Coord, o DimOrder) []Coord {

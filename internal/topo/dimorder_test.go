@@ -144,3 +144,57 @@ func TestStepString(t *testing.T) {
 		t.Fatal("Step.String broken")
 	}
 }
+
+func TestLegalNextStepsMinimal(t *testing.T) {
+	s := Shape{4, 4, 8}
+	f := func(a, b uint16) bool {
+		cur := s.CoordOf(int(a) % s.Nodes())
+		dst := s.CoordOf(int(b) % s.Nodes())
+		steps := LegalNextSteps(s, cur, dst, nil)
+		if cur == dst {
+			return len(steps) == 0
+		}
+		if len(steps) == 0 {
+			return false
+		}
+		h := s.HopDist(cur, dst)
+		for _, st := range steps {
+			next := s.Neighbor(cur, st.Dim, st.Dir)
+			// Every candidate must strictly reduce the remaining distance.
+			if s.HopDist(next, dst) != h-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLegalNextStepsTieReturnsBothDirections(t *testing.T) {
+	s := Shape{4, 1, 1}
+	steps := LegalNextSteps(s, Coord{0, 0, 0}, Coord{2, 0, 0}, nil)
+	want := []Step{{X, 1}, {X, -1}}
+	if len(steps) != 2 || steps[0] != want[0] || steps[1] != want[1] {
+		t.Fatalf("tie candidates = %v, want %v", steps, want)
+	}
+}
+
+func TestLegalNextStepsOrderedAndReusesBuf(t *testing.T) {
+	s := Shape{4, 4, 8}
+	buf := make([]Step, 0, 6)
+	steps := LegalNextSteps(s, Coord{0, 0, 0}, Coord{1, 1, 1}, buf)
+	want := []Step{{X, 1}, {Y, 1}, {Z, 1}}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("steps = %v, want %v", steps, want)
+		}
+	}
+	if &steps[0] != &buf[:1][0] {
+		t.Fatal("LegalNextSteps should append into the caller's buffer")
+	}
+}
