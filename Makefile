@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench lint ci
+.PHONY: build test test-short alloc-gate bench lint ci
 
 build:
 	$(GO) build ./...
@@ -12,15 +12,25 @@ test:
 	$(GO) test ./...
 
 # The CI fast lane: reduced-size (not skipped) tests under the race
-# detector, plus the netsweep CLI smoke.
+# detector, the allocation gate, plus the netsweep CLI smoke.
 test-short:
 	$(GO) test -short -race ./...
+	$(MAKE) alloc-gate
 	$(GO) run ./cmd/anton3 netsweep -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q > /dev/null
 
-# The CI bench lane: every paper artifact once, then a full parallel
-# `all` run refreshing BENCH_runner.json.
+# The allocation gate: testing.AllocsPerRun regression tests pinning the
+# steady-state machine.Send (request and response classes) and the synth
+# harness inner loop at 0 allocs/op. Run without -race: the detector's
+# instrumentation allocates, so the tests skip themselves there.
+alloc-gate:
+	$(GO) test -run 'AllocFree' -count=1 ./internal/machine ./internal/synth
+
+# The CI bench lane: every paper artifact once, the hot-path micro-bench
+# report (BENCH_hotpath.json: ns/op + allocs/op per PR), then a full
+# parallel `all` run refreshing BENCH_runner.json.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
+	$(GO) test -run '^$$' -bench 'SendHotPath|SendResponseHotPath|Netsweep' -benchmem -count=1 ./internal/machine ./internal/synth | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
 	$(GO) run ./cmd/anton3 all -json BENCH_runner.json > /dev/null
 
 lint:

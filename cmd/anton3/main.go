@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -22,10 +24,14 @@ import (
 	"anton3/internal/topo"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so deferred cleanups (profile flushes) execute
+// before the process exits.
+func run() int {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -41,7 +47,42 @@ func main() {
 	loads := fs.String("loads", "0.5,1,2,3,4", "netsweep offered loads, comma-separated")
 	npkts := fs.Int("npkts", 96, "netsweep measured packets per node")
 	nwarm := fs.Int("nwarm", 32, "netsweep warmup packets per node")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
 	fs.Parse(os.Args[2:])
+
+	// The memprofile defer is registered before the cpuprofile one so that
+	// (LIFO) the CPU profile stops first and its samples never include the
+	// heap profile's forced GC and encoding.
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "anton3:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "anton3:", err)
+			}
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anton3:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "anton3:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	p := experiments.DefaultParams()
 	p.Fig5Pairs = *pairs
@@ -55,17 +96,17 @@ func main() {
 	var err error
 	if p.NetShapes, err = parseShapes(*shapes); err != nil {
 		fmt.Fprintln(os.Stderr, "anton3:", err)
-		os.Exit(2)
+		return 2
 	}
 	if p.NetLoads, err = parseLoads(*loads); err != nil {
 		fmt.Fprintln(os.Stderr, "anton3:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	selected := experiments.SelectJobs(experiments.Jobs(p), cmd)
 	if len(selected) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 
 	// Stream each result as soon as it and its predecessors finish:
@@ -88,12 +129,13 @@ func main() {
 	if *jsonPath != "" {
 		if werr := rep.WriteJSON(*jsonPath); werr != nil {
 			fmt.Fprintln(os.Stderr, "anton3:", werr)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if err != nil {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func parseShapes(s string) ([]topo.Shape, error) {
@@ -150,5 +192,6 @@ flags (after the subcommand):
   -json P    write the runner report (per-job rows and timings) to P
   -q         suppress the runner summary line on stderr
   -pairs, -atoms, -steps, -warm, -measure   experiment sizes (see -h)
-  -shapes, -loads, -npkts, -nwarm           netsweep grid (see -h)`)
+  -shapes, -loads, -npkts, -nwarm           netsweep grid (see -h)
+  -cpuprofile P, -memprofile P              write pprof profiles of the run`)
 }

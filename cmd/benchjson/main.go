@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench -benchmem` text output (on
+// stdin) into a stable JSON report (on stdout), so CI can commit benchmark
+// artifacts like BENCH_hotpath.json and diffs stay readable per PR.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the committed artifact shape.
+type Report struct {
+	GOOS    string  `json:"goos,omitempty"`
+	GOARCH  string  `json:"goarch,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Benches []Bench `json:"benches"`
+}
+
+func main() {
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				rep.Benches = append(rep.Benches, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benches) == 0 {
+		// A report with no benchmarks means the -bench regex no longer
+		// matches anything (e.g. a bench was renamed); failing here keeps
+		// CI from committing an empty artifact with a green build.
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench reads lines of the form
+//
+//	BenchmarkName-8   1234   987.6 ns/op   64 B/op   2 allocs/op
+//
+// The -P GOMAXPROCS suffix is stripped so reports diff cleanly across
+// runner core counts.
+func parseBench(line string) (Bench, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Bench{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Bench{Name: name}
+	var err error
+	if b.Iters, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+		return Bench{}, false
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			b.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			b.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		}
+		if err != nil {
+			return Bench{}, false
+		}
+	}
+	return b, true
+}

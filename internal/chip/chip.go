@@ -50,6 +50,45 @@ func (c ChannelSpec) Side() topo.Side {
 	return topo.Right
 }
 
+// NumChannelSpecs is the size of the dense channel-spec index space of one
+// chip: 3 dimensions x 2 directions x Slices slices. Machine-level code
+// keys per-node channel tables by ChannelSpec.Index instead of maps; shapes
+// with a flat dimension simply leave those table entries nil.
+const NumChannelSpecs = 3 * 2 * Slices
+
+// Index returns c's dense index in [0, NumChannelSpecs). The encoding is
+// (dim, dir, slice) lexicographic with +1 before -1, matching the
+// enumeration order of AllChannelSpecs, so iterating a dense table in index
+// order visits specs exactly as the historical spec lists did.
+func (c ChannelSpec) Index() int {
+	d := 0
+	if c.Dir < 0 {
+		d = 1
+	}
+	return (int(c.Dim)*2+d)*Slices + c.Slice
+}
+
+// ChannelSpecAt inverts ChannelSpec.Index.
+func ChannelSpecAt(i int) ChannelSpec {
+	if i < 0 || i >= NumChannelSpecs {
+		panic("chip: channel spec index out of range")
+	}
+	sl := i % Slices
+	i /= Slices
+	dir := 1
+	if i%2 == 1 {
+		dir = -1
+	}
+	return ChannelSpec{Dim: topo.Dim(i / 2), Dir: dir, Slice: sl}
+}
+
+// Opposite returns the receiver-side spec of the same physical link: the
+// channel on the neighboring chip that points back toward the sender.
+func (c ChannelSpec) Opposite() ChannelSpec {
+	c.Dir = -c.Dir
+	return c
+}
+
 // Latencies collects the calibrated fixed latencies of the path model. All
 // cycle counts are core-clock cycles at Clock; DESIGN.md section 4 explains
 // how they were chosen to reproduce the paper's measured endpoints (55 ns

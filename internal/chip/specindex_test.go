@@ -1,0 +1,61 @@
+package chip
+
+import (
+	"testing"
+
+	"anton3/internal/topo"
+)
+
+func TestChannelSpecIndexRoundTrip(t *testing.T) {
+	seen := make(map[int]bool)
+	for _, d := range []topo.Dim{topo.X, topo.Y, topo.Z} {
+		for _, dir := range []int{1, -1} {
+			for sl := 0; sl < Slices; sl++ {
+				cs := ChannelSpec{Dim: d, Dir: dir, Slice: sl}
+				i := cs.Index()
+				if i < 0 || i >= NumChannelSpecs {
+					t.Fatalf("%v index %d out of range", cs, i)
+				}
+				if seen[i] {
+					t.Fatalf("%v index %d collides", cs, i)
+				}
+				seen[i] = true
+				if got := ChannelSpecAt(i); got != cs {
+					t.Fatalf("ChannelSpecAt(%d) = %v, want %v", i, got, cs)
+				}
+			}
+		}
+	}
+	if len(seen) != NumChannelSpecs {
+		t.Fatalf("enumerated %d specs, want %d", len(seen), NumChannelSpecs)
+	}
+}
+
+// TestAllChannelSpecsAscendingIndex pins the compatibility contract of the
+// dense encoding: AllChannelSpecs enumerates in ascending Index order for
+// every shape, so code that switched from spec lists to dense tables
+// visits channels in the historical order.
+func TestAllChannelSpecsAscendingIndex(t *testing.T) {
+	for _, s := range []topo.Shape{
+		{X: 4, Y: 4, Z: 8}, {X: 4, Y: 4, Z: 1}, {X: 1, Y: 1, Z: 2}, {X: 8, Y: 8, Z: 16},
+	} {
+		last := -1
+		for _, cs := range AllChannelSpecs(s) {
+			if cs.Index() <= last {
+				t.Fatalf("shape %v: spec %v index %d not ascending after %d", s, cs, cs.Index(), last)
+			}
+			last = cs.Index()
+		}
+	}
+}
+
+func TestChannelSpecOpposite(t *testing.T) {
+	cs := ChannelSpec{Dim: topo.Y, Dir: -1, Slice: 1}
+	op := cs.Opposite()
+	if op.Dim != topo.Y || op.Dir != 1 || op.Slice != 1 {
+		t.Fatalf("Opposite(%v) = %v", cs, op)
+	}
+	if op.Opposite() != cs {
+		t.Fatal("Opposite is not an involution")
+	}
+}

@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"testing"
+
+	"anton3/internal/packet"
+	"anton3/internal/route"
+	"anton3/internal/serdes"
+	"anton3/internal/testutil"
+	"anton3/internal/topo"
+)
+
+// The allocation regression tests pin the tentpole property of the packet
+// pipeline rewrite: once the pools (packet free list, kernel event pool)
+// have warmed, a steady-state Send — inject, hop across channels, eject,
+// apply, deliver — performs zero heap allocations, for both traffic
+// classes. CI runs these as its allocation gate (without -race; the
+// detector's instrumentation allocates).
+
+// allocMachine is a 128-node machine with compression off — the netsweep
+// hot-path configuration.
+func allocMachine() *Machine {
+	cfg := DefaultConfig(topo.Shape{X: 4, Y: 4, Z: 8})
+	cfg.Compress = serdes.CompressConfig{}
+	return New(cfg)
+}
+
+func TestSendRequestSteadyStateAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	m := allocMachine()
+	src, dst := topo.Coord{}, topo.Coord{X: 2, Y: 1, Z: 3}
+	srcID, dstID := m.GC(src, 0).ID, m.GC(dst, 7).ID
+	var atom uint32
+	send := func() {
+		p := m.NewPacket()
+		p.Type = packet.Position
+		p.SrcNode, p.DstNode = src, dst
+		p.SrcCore, p.DstCore = srcID, dstID
+		p.AtomID = atom
+		atom++
+		p.SetQuad([4]uint32{atom, 2, 3, 4})
+		m.Send(p, nil)
+		m.K.Run()
+	}
+	for i := 0; i < 32; i++ {
+		send() // warm the pools across both slices and several dim orders
+	}
+	if n := testing.AllocsPerRun(200, send); n != 0 {
+		t.Fatalf("steady-state request Send allocates %.1f times/op, want 0", n)
+	}
+}
+
+func TestSendResponseSteadyStateAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	m := allocMachine()
+	a := m.GC(topo.Coord{}, 0)
+	b := m.GC(topo.Coord{X: 3, Y: 2, Z: 5}, 9)
+	b.SRAM().WriteQuad(100, [4]uint32{0xaa, 0xbb, 0xcc, 0xdd})
+	send := func() {
+		// A read round trip: the ReadReq crosses as a request, the
+		// destination builds a pooled ReadResp that walks the
+		// mesh-restricted response route home.
+		p := m.NewPacket()
+		p.Type = packet.ReadReq
+		p.SrcNode, p.DstNode = a.Node.Coord, b.Node.Coord
+		p.SrcCore, p.DstCore = a.ID, b.ID
+		p.Addr = 100
+		m.Send(p, nil)
+		m.K.Run()
+	}
+	for i := 0; i < 32; i++ {
+		send()
+	}
+	if n := testing.AllocsPerRun(200, send); n != 0 {
+		t.Fatalf("steady-state read/response round trip allocates %.1f times/op, want 0", n)
+	}
+}
+
+func TestSendAdaptivePolicyAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	// The adaptive policy reads the per-node load views; they must not cost
+	// a closure per decision.
+	cfg := DefaultConfig(topo.Shape{X: 4, Y: 4, Z: 8})
+	cfg.Compress = serdes.CompressConfig{}
+	cfg.Policy = route.MinimalAdaptive()
+	m := New(cfg)
+	src, dst := topo.Coord{}, topo.Coord{X: 2, Y: 1, Z: 3}
+	srcID, dstID := m.GC(src, 0).ID, m.GC(dst, 0).ID
+	var atom uint32
+	send := func() {
+		p := m.NewPacket()
+		p.Type = packet.Position
+		p.SrcNode, p.DstNode = src, dst
+		p.SrcCore, p.DstCore = srcID, dstID
+		p.AtomID = atom
+		atom++
+		m.Send(p, nil)
+		m.K.Run()
+	}
+	for i := 0; i < 32; i++ {
+		send()
+	}
+	if n := testing.AllocsPerRun(200, send); n != 0 {
+		t.Fatalf("steady-state adaptive Send allocates %.1f times/op, want 0", n)
+	}
+}
+
+// BenchmarkSendHotPath times one steady-state request delivery (inject,
+// ~3 hops, eject, apply) end to end, kernel included. Run with -benchmem:
+// allocs/op is the pinned quantity.
+func BenchmarkSendHotPath(b *testing.B) {
+	m := allocMachine()
+	src, dst := topo.Coord{}, topo.Coord{X: 2, Y: 1, Z: 3}
+	srcID, dstID := m.GC(src, 0).ID, m.GC(dst, 7).ID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := m.NewPacket()
+		p.Type = packet.Position
+		p.SrcNode, p.DstNode = src, dst
+		p.SrcCore, p.DstCore = srcID, dstID
+		p.AtomID = uint32(i)
+		p.SetQuad([4]uint32{uint32(i), 2, 3, 4})
+		m.Send(p, nil)
+		m.K.Run()
+	}
+}
+
+// BenchmarkSendResponseHotPath times a full read round trip (request out,
+// pooled response back on the mesh-restricted route).
+func BenchmarkSendResponseHotPath(b *testing.B) {
+	m := allocMachine()
+	a := m.GC(topo.Coord{}, 0)
+	dst := m.GC(topo.Coord{X: 3, Y: 2, Z: 5}, 9)
+	dst.SRAM().WriteQuad(100, [4]uint32{0xaa, 0xbb, 0xcc, 0xdd})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := m.NewPacket()
+		p.Type = packet.ReadReq
+		p.SrcNode, p.DstNode = a.Node.Coord, dst.Node.Coord
+		p.SrcCore, p.DstCore = a.ID, dst.ID
+		p.Addr = 100
+		m.Send(p, nil)
+		m.K.Run()
+	}
+}

@@ -34,7 +34,7 @@ type fenceOp struct {
 }
 
 func (n *Node) fenceOpFor(id, hops int, pattern fence.Pattern, onComplete func(*Node, sim.Time)) *fenceOp {
-	if op, ok := n.fences[id]; ok {
+	if op := n.fences[id]; op != nil {
 		return op
 	}
 	op := &fenceOp{id: id, pattern: pattern, hops: hops, onComplete: onComplete}
@@ -79,7 +79,7 @@ func (m *Machine) StartFence(pattern fence.Pattern, hops int, onComplete func(n 
 // FinishFence releases the fence ID once every node has completed.
 func (m *Machine) FinishFence(id int) {
 	for _, n := range m.nodes {
-		delete(n.fences, id)
+		n.fences[id] = nil
 	}
 	m.fenceAlloc.ReleaseID(id)
 }
@@ -109,65 +109,65 @@ func (n *Node) fenceRoundComplete(id, r int) {
 }
 
 // relayFence sends the round-r fence copies: one header-only packet per
-// request VC on every outbound channel slice.
+// request VC on every outbound channel slice. Fence packets ride the same
+// actor-driven walk as data packets (WalkArrive at the neighbor, then
+// WalkFenceMerge after the per-hop flood latency) and recycle through the
+// machine's packet pool.
 func (n *Node) relayFence(id, r int) {
 	m := n.m
 	for _, cs := range n.ChannelSpecs() {
-		ch := n.out[cs]
+		ch := n.out[cs.Index()]
 		dstCoord := m.cfg.Shape.Neighbor(n.Coord, cs.Dim, cs.Dir)
-		dst := m.Node(dstCoord)
 		// The receiver identifies the inbound link by its own CA spec:
 		// the channel pointing back toward us.
-		inSpec := chip.ChannelSpec{Dim: cs.Dim, Dir: -cs.Dir, Slice: cs.Slice}
+		in := int8(cs.Opposite().Index())
 		for vc := 0; vc < n.m.policy.RequestVCs(); vc++ {
-			p := &packet.Packet{
-				ID:        m.nextPktID(),
-				Type:      packet.Fence,
-				SrcNode:   n.Coord,
-				DstNode:   dstCoord,
-				FenceID:   id,
-				FenceHops: r,
-			}
-			ch.Send(p, func(q *packet.Packet) {
-				// CA rx + per-port merge + the flood overhead of
-				// covering every edge-network path at this hop; the
-				// first torus crossing additionally pays the one-time
-				// fence pipeline fill (all VCs, both slices, every
-				// edge-network column).
-				cycles := m.cfg.Lat.CARxCycles + m.cfg.Lat.FenceMergeCycles
-				if q.FenceHops == 1 {
-					cycles += m.cfg.Lat.FenceRemoteFixedCycles
-				}
-				lat := m.Clock.Cycles(cycles) + m.Geom.FenceHopExtra()
-				m.K.After(lat, func() {
-					dst.fenceArrive(q.FenceID, q.FenceHops, inSpec)
-				})
-			})
+			p := m.pool.Get()
+			p.ID = m.nextPktID()
+			p.Type = packet.Fence
+			p.SrcNode = n.Coord
+			p.DstNode = dstCoord
+			p.FenceID = id
+			p.FenceHops = r
+			p.Walker = m
+			p.Cur = dstCoord
+			p.In = in
+			p.State = packet.WalkArrive
+			ch.SendPacket(p)
 		}
 	}
+}
+
+// fenceHopArrive handles a fence packet emerging from a channel at p.Cur:
+// CA rx + per-port merge + the flood overhead of covering every
+// edge-network path at this hop; the first torus crossing additionally pays
+// the one-time fence pipeline fill (all VCs, both slices, every
+// edge-network column).
+func (m *Machine) fenceHopArrive(p *packet.Packet) {
+	cycles := m.cfg.Lat.CARxCycles + m.cfg.Lat.FenceMergeCycles
+	if p.FenceHops == 1 {
+		cycles += m.cfg.Lat.FenceRemoteFixedCycles
+	}
+	lat := m.Clock.Cycles(cycles) + m.Geom.FenceHopExtra()
+	p.State = packet.WalkFenceMerge
+	m.K.AfterActor(lat, p)
 }
 
 // fenceArrive merges one fence copy for round r arriving on channel spec.
 func (n *Node) fenceArrive(id, r int, spec chip.ChannelSpec) {
-	op, ok := n.fences[id]
-	if !ok {
+	op := n.fences[id]
+	if op == nil {
 		panic("machine: fence arrival for unknown fence op")
 	}
 	fr := op.rounds[r]
-	si := n.specIndex(spec)
+	si := int(n.specPos[spec.Index()])
+	if si < 0 {
+		panic(fmt.Sprintf("machine: unknown channel spec %v", spec))
+	}
 	if fire, _ := fr.merge.Arrive(si); fire {
 		fr.chansDone++
 		n.checkFenceRound(id, r)
 	}
-}
-
-func (n *Node) specIndex(spec chip.ChannelSpec) int {
-	for i, cs := range n.ChannelSpecs() {
-		if cs == spec {
-			return i
-		}
-	}
-	panic(fmt.Sprintf("machine: unknown channel spec %v", spec))
 }
 
 // checkFenceRound completes round r once every inbound channel has merged

@@ -32,24 +32,20 @@ func (g *GC) SRAM() *mem.SRAM { return g.Node.sram(g.ID) }
 
 // CountedWrite sends a counted remote write of quad to dst's SRAM at addr.
 func (g *GC) CountedWrite(dst *GC, addr uint32, quad [4]uint32) {
-	p := &packet.Packet{
-		Type:    packet.CountedWrite,
-		SrcNode: g.Node.Coord, DstNode: dst.Node.Coord,
-		SrcCore: g.ID, DstCore: dst.ID,
-		Addr: addr,
-	}
-	p.SetQuad(quad)
-	g.m.Send(p, nil)
+	g.send(packet.CountedWrite, dst, addr, quad)
 }
 
 // CountedAccum sends an accumulating counted write (force summation form).
 func (g *GC) CountedAccum(dst *GC, addr uint32, quad [4]uint32) {
-	p := &packet.Packet{
-		Type:    packet.CountedAccum,
-		SrcNode: g.Node.Coord, DstNode: dst.Node.Coord,
-		SrcCore: g.ID, DstCore: dst.ID,
-		Addr: addr,
-	}
+	g.send(packet.CountedAccum, dst, addr, quad)
+}
+
+func (g *GC) send(t packet.Type, dst *GC, addr uint32, quad [4]uint32) {
+	p := g.m.pool.Get()
+	p.Type = t
+	p.SrcNode, p.DstNode = g.Node.Coord, dst.Node.Coord
+	p.SrcCore, p.DstCore = g.ID, dst.ID
+	p.Addr = addr
 	p.SetQuad(quad)
 	g.m.Send(p, nil)
 }

@@ -47,25 +47,36 @@ func DefaultConfig(shape topo.Shape) Config {
 
 // Machine is a simulated Anton 3 machine.
 type Machine struct {
-	cfg    Config
-	K      *sim.Kernel
-	Clock  sim.Clock
-	Geom   *chip.Geometry
-	nodes  []*Node
-	rng    *sim.Rand
-	policy route.Policy
-	pktID  uint64
+	cfg      Config
+	K        *sim.Kernel
+	Clock    sim.Clock
+	Geom     *chip.Geometry
+	nodes    []*Node
+	rng      *sim.Rand
+	policy   route.Policy
+	adaptive bool // policy.Adaptive(), cached for the per-hop path
+	pktID    uint64
+	specs    []chip.ChannelSpec // the shape's channel specs, in dense-index order
+	pool     packet.Pool
 
 	fenceAlloc fence.Allocator
 }
 
-// Node is one ASIC plus its outbound channel slices.
+// Node is one ASIC plus its outbound channel slices. The channel, SRAM and
+// fence tables are dense arrays — indexed by chip.ChannelSpec.Index, GC
+// index and fence ID respectively — so the per-packet path never touches a
+// map.
 type Node struct {
-	m      *Machine
-	Coord  topo.Coord
-	out    map[chip.ChannelSpec]*serdes.Channel
-	srams  map[int]*mem.SRAM // lazily allocated per GC index
-	fences map[int]*fenceOp
+	m     *Machine
+	Coord topo.Coord
+	out   [chip.NumChannelSpecs]*serdes.Channel // nil where the shape has no channel
+	srams []*mem.SRAM                           // per GC index; entries allocated lazily
+	// specPos maps a dense spec index to the spec's position in the
+	// machine's spec list (-1 if absent) — the contiguous numbering the
+	// fence merge units are configured with.
+	specPos [chip.NumChannelSpecs]int8
+	fences  [fence.MaxConcurrent]*fenceOp
+	views   [chip.Slices]nodeLoadView
 }
 
 // New builds a machine; all nodes and channels are wired immediately, GC
@@ -84,29 +95,34 @@ func New(cfg Config) *Machine {
 	if m.policy == nil {
 		m.policy = route.Random()
 	}
+	m.adaptive = m.policy.Adaptive()
 	m.Geom = chip.New(m.Clock, cfg.Lat)
-	specs := chip.AllChannelSpecs(cfg.Shape)
-	m.nodes = make([]*Node, cfg.Shape.Nodes())
-	for i := range m.nodes {
-		n := &Node{
-			m:      m,
-			Coord:  cfg.Shape.CoordOf(i),
-			out:    make(map[chip.ChannelSpec]*serdes.Channel, len(specs)),
-			srams:  make(map[int]*mem.SRAM),
-			fences: make(map[int]*fenceOp),
-		}
-		m.nodes[i] = n
-	}
+	m.specs = chip.AllChannelSpecs(cfg.Shape)
+	gcs := m.Geom.GCs()
 	chCfg := serdes.ChannelConfig{
 		Lanes:        chip.LanesPerSlice,
 		GbpsLane:     topo.SerdesGbps,
 		FixedLatency: cfg.Lat.ChannelFixed,
 		Compress:     cfg.Compress,
 	}
-	for _, n := range m.nodes {
-		for _, cs := range specs {
-			n.out[cs] = serdes.NewChannel(m.K, chCfg)
+	m.nodes = make([]*Node, cfg.Shape.Nodes())
+	for i := range m.nodes {
+		n := &Node{
+			m:     m,
+			Coord: cfg.Shape.CoordOf(i),
+			srams: make([]*mem.SRAM, gcs),
 		}
+		for j := range n.specPos {
+			n.specPos[j] = -1
+		}
+		for pos, cs := range m.specs {
+			n.out[cs.Index()] = serdes.NewChannel(m.K, chCfg)
+			n.specPos[cs.Index()] = int8(pos)
+		}
+		for sl := range n.views {
+			n.views[sl] = nodeLoadView{n: n, slice: sl}
+		}
+		m.nodes[i] = n
 	}
 	return m
 }
@@ -134,24 +150,51 @@ func (m *Machine) nextPktID() uint64 {
 	return m.pktID
 }
 
-// Channel returns the outbound channel slice on node c for spec cs
-// (diagnostics and traffic accounting).
-func (n *Node) Channel(cs chip.ChannelSpec) *serdes.Channel { return n.out[cs] }
+// NewPacket returns a zeroed packet from the machine's free list. Packets
+// sent through Send (or the fence engine) are recycled automatically after
+// delivery; harness code that injects steady-state traffic should obtain
+// packets here so the hot path allocates nothing.
+func (m *Machine) NewPacket() *packet.Packet { return m.pool.Get() }
 
-// ChannelSpecs lists this node's outbound channel specs in a fixed order.
-func (n *Node) ChannelSpecs() []chip.ChannelSpec {
-	return chip.AllChannelSpecs(n.m.cfg.Shape)
-}
+// Channel returns the outbound channel slice on node c for spec cs
+// (diagnostics and traffic accounting); nil if the shape has no such
+// channel.
+func (n *Node) Channel(cs chip.ChannelSpec) *serdes.Channel { return n.out[cs.Index()] }
+
+// ChannelSpecs lists this node's outbound channel specs in dense-index
+// order. The returned slice is shared; callers must not mutate it.
+func (n *Node) ChannelSpecs() []chip.ChannelSpec { return n.m.specs }
 
 // sram returns (allocating if needed) the SRAM block of one GC.
 func (n *Node) sram(core packet.CoreID) *mem.SRAM {
 	idx := n.m.Geom.IndexOfCore(core)
-	s, ok := n.srams[idx]
-	if !ok {
+	s := n.srams[idx]
+	if s == nil {
 		s = mem.NewSRAM(mem.QuadsPerBlock)
 		n.srams[idx] = s
 	}
 	return s
+}
+
+// nodeLoadView reports, to an adaptive policy deciding at node n, the
+// serialization backlog (in picoseconds) of each outbound channel on one
+// slice. This is the full-machine analog of router credit occupancy: a
+// channel whose busy horizon runs far past now is a channel whose
+// downstream credits would be exhausted. Each node owns one instance per
+// slice, so handing a view to a routing decision allocates nothing.
+type nodeLoadView struct {
+	n     *Node
+	slice int
+}
+
+// Load implements route.LoadView over the dense channel table.
+func (v *nodeLoadView) Load(dim topo.Dim, dir int) int64 {
+	cs := chip.ChannelSpec{Dim: dim, Dir: dir, Slice: v.slice}
+	backlog := v.n.out[cs.Index()].Busy() - v.n.m.K.Now()
+	if backlog < 0 {
+		return 0
+	}
+	return int64(backlog)
 }
 
 // TotalWireStats sums compression statistics over every channel in the
@@ -160,6 +203,9 @@ func (m *Machine) TotalWireStats() serdes.Stats {
 	var total serdes.Stats
 	for _, n := range m.nodes {
 		for _, ch := range n.out {
+			if ch == nil {
+				continue
+			}
 			st := ch.Compressor().Stats()
 			total.Packets += st.Packets
 			total.WireBits += st.WireBits
@@ -179,9 +225,9 @@ func (m *Machine) TotalWireStats() serdes.Stats {
 // it returns an error naming the first failure.
 func (m *Machine) CheckChannelSync() error {
 	for _, n := range m.nodes {
-		for cs, ch := range n.out {
-			if !ch.Compressor().InSync() {
-				return fmt.Errorf("machine: node %v channel %v desynchronized", n.Coord, cs)
+		for i, ch := range n.out {
+			if ch != nil && !ch.Compressor().InSync() {
+				return fmt.Errorf("machine: node %v channel %v desynchronized", n.Coord, chip.ChannelSpecAt(i))
 			}
 		}
 	}

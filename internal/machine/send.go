@@ -22,130 +22,128 @@ func (m *Machine) sliceFor(p *packet.Packet) int {
 	return 1
 }
 
-// loadView reports, to an adaptive policy deciding at node `at`, the
-// serialization backlog (in picoseconds) of each outbound channel on the
-// packet's slice. This is the full-machine analog of router credit
-// occupancy: a channel whose busy horizon runs far past now is a channel
-// whose downstream credits would be exhausted.
-func (m *Machine) loadView(at topo.Coord, slice int) route.LoadView {
-	n := m.Node(at)
-	return func(dim topo.Dim, dir int) int64 {
-		backlog := n.out[chip.ChannelSpec{Dim: dim, Dir: dir, Slice: slice}].Busy() - m.K.Now()
-		if backlog < 0 {
-			return 0
-		}
-		return int64(backlog)
-	}
-}
-
 // Send walks p through the network: inject at the source chip, cross
 // channels hop by hop (transiting edge networks at intermediate chips), and
-// apply the packet at the destination SRAM. deliver, if non-nil, runs at
-// the destination node after the SRAM update.
+// apply the packet at the destination SRAM. done, if non-nil, runs at the
+// destination node after the SRAM update.
 //
 // Request packets consult the machine's routing policy twice over: at
 // injection for the dimension order, and at every hop for the output
 // choice, with a live load view — so adaptive policies react to congestion
 // as the packet encounters it. Response packets always follow the XYZ
 // mesh-restricted route on the response VC, outside the policy's reach.
-func (m *Machine) Send(p *packet.Packet, deliver func()) {
+//
+// The walk is iterative, not a chain of scheduled closures: the per-hop
+// state (current node, chosen channel, slice, tie-break) lives in the
+// packet, every timing event fires the packet itself, and OnPacket
+// interprets its WalkState — so a steady-state Send schedules, crosses and
+// delivers without a single heap allocation. Packets obtained from
+// NewPacket are recycled after delivery.
+func (m *Machine) Send(p *packet.Packet, done packet.Deliverer) {
 	p.ID = m.nextPktID()
 	p.Injected = m.K.Now()
-	src := m.Node(p.SrcNode)
+	p.Walker = m
+	p.Done = done
 
 	if p.SrcNode == p.DstNode {
-		lat := m.Geom.OnChipLatency(p.SrcCore, p.DstCore)
-		m.K.After(lat, func() {
-			m.apply(src, p)
-			if deliver != nil {
-				deliver()
-			}
-		})
+		p.Cur = p.DstNode
+		p.In = -1
+		p.State = packet.WalkApply
+		m.K.AfterActor(m.Geom.OnChipLatency(p.SrcCore, p.DstCore), p)
 		return
 	}
 
-	slice := m.sliceFor(p)
-	// next picks the packet's step out of node cur, or ok=false at the
-	// destination. Responses replay a precomputed mesh route (possibly
-	// non-minimal, so it cannot be re-derived hop by hop); requests ask
-	// the policy, which sees the current channel backlog at cur.
-	var next func(cur topo.Coord) (topo.Step, bool)
-	if p.Type.Class() == packet.Response {
-		steps := route.ResponseRoute(m.cfg.Shape, p.SrcNode, p.DstNode)
-		i := 0
-		next = func(topo.Coord) (topo.Step, bool) {
-			if i == len(steps) {
-				return topo.Step{}, false
-			}
-			st := steps[i]
-			i++
-			return st, true
-		}
-	} else {
+	p.Slice = int8(m.sliceFor(p))
+	if p.Type.Class() != packet.Response {
 		p.Order = m.policy.Order(m.rng)
 		// Direction ties (even rings) balance across both physical links;
 		// position/force packets break ties by atom ID so their channel
 		// (and particle cache) stays stable step to step.
-		plusOnTie := m.rng.Intn(2) == 0
+		tie := m.rng.Intn(2) == 0
 		if p.Type == packet.Position || p.Type == packet.Force {
-			plusOnTie = p.AtomID&2 != 0
+			tie = p.AtomID&2 != 0
 		}
-		// Only adaptive policies read the load view; skip building the
-		// per-decision closure for the oblivious ones.
-		adaptive := m.policy.Adaptive()
-		next = func(cur topo.Coord) (topo.Step, bool) {
-			var view route.LoadView
-			if adaptive {
-				view = m.loadView(cur, slice)
-			}
-			return m.policy.NextStep(m.cfg.Shape, cur, p.DstNode, p.Order, plusOnTie, view)
-		}
+		p.Tie = tie
 	}
 
-	spec := func(st topo.Step) chip.ChannelSpec {
-		return chip.ChannelSpec{Dim: st.Dim, Dir: st.Dir, Slice: slice}
-	}
-	// inSpec is the receiver-side spec of the channel just crossed: the
-	// receiver's CA for the link toward the sender.
-	inSpec := func(st topo.Step) chip.ChannelSpec {
-		return chip.ChannelSpec{Dim: st.Dim, Dir: -st.Dir, Slice: slice}
-	}
-
-	// arrive handles q landing at node cur having crossed a channel whose
-	// receiver-side spec is in: eject here, or pick the next hop now (the
-	// adaptive decision point) and transit.
-	var arrive func(q *packet.Packet, cur topo.Coord, in chip.ChannelSpec)
-	arrive = func(q *packet.Packet, cur topo.Coord, in chip.ChannelSpec) {
-		node := m.Node(cur)
-		st, ok := next(cur)
-		if !ok {
-			lat := m.Geom.EjectLatency(in, q.DstCore)
-			m.K.After(lat, func() {
-				m.apply(node, q)
-				if deliver != nil {
-					deliver()
-				}
-			})
-			return
-		}
-		out := spec(st)
-		nxt := m.cfg.Shape.Neighbor(cur, st.Dim, st.Dir)
-		lat := m.Geom.TransitLatency(in, out)
-		m.K.After(lat, func() {
-			node.out[out].Send(q, func(r *packet.Packet) { arrive(r, nxt, inSpec(st)) })
-		})
-	}
-
-	first, ok := next(p.SrcNode)
+	first, ok := m.nextStep(p, p.SrcNode)
 	if !ok {
 		panic("machine: inter-node packet with no first hop")
 	}
-	out := spec(first)
-	nxt := m.cfg.Shape.Neighbor(p.SrcNode, first.Dim, first.Dir)
-	inj := m.Geom.InjectLatency(p.SrcCore, out)
-	m.K.After(inj, func() {
-		src.out[out].Send(p, func(q *packet.Packet) { arrive(q, nxt, inSpec(first)) })
-	})
+	out := chip.ChannelSpec{Dim: first.Dim, Dir: first.Dir, Slice: int(p.Slice)}
+	p.Cur = p.SrcNode
+	p.Out = int8(out.Index())
+	p.In = -1
+	p.State = packet.WalkTransit
+	m.K.AfterActor(m.Geom.InjectLatency(p.SrcCore, out), p)
+}
+
+// nextStep picks p's step out of node cur, or ok=false at the destination.
+// Responses re-derive their mesh-restricted XYZ route hop by hop; requests
+// ask the policy, which sees the current channel backlog at cur.
+func (m *Machine) nextStep(p *packet.Packet, cur topo.Coord) (topo.Step, bool) {
+	if p.Type.Class() == packet.Response {
+		return route.ResponseNext(cur, p.DstNode)
+	}
+	// Only adaptive policies read the load view; oblivious ones would
+	// ignore it anyway.
+	var view route.LoadView
+	if m.adaptive {
+		view = &m.Node(cur).views[p.Slice]
+	}
+	return m.policy.NextStep(m.cfg.Shape, cur, p.DstNode, p.Order, p.Tie, view)
+}
+
+// OnPacket advances an in-flight packet one walk step (packet.Walker); the
+// single reusable handler behind every packet timing event.
+func (m *Machine) OnPacket(p *packet.Packet) {
+	switch p.State {
+	case packet.WalkTransit:
+		// The inject/transit latency has elapsed: cross the chosen channel.
+		node := m.Node(p.Cur)
+		out := chip.ChannelSpecAt(int(p.Out))
+		p.Cur = m.cfg.Shape.Neighbor(p.Cur, out.Dim, out.Dir)
+		p.In = int8(out.Opposite().Index())
+		p.State = packet.WalkArrive
+		node.out[p.Out].SendPacket(p)
+
+	case packet.WalkArrive:
+		// Just emerged from a channel at p.Cur: merge (fences), eject
+		// (destination) or pick the next hop now — the adaptive decision
+		// point — and transit.
+		if p.Type == packet.Fence {
+			m.fenceHopArrive(p)
+			return
+		}
+		in := chip.ChannelSpecAt(int(p.In))
+		st, ok := m.nextStep(p, p.Cur)
+		if !ok {
+			p.State = packet.WalkApply
+			m.K.AfterActor(m.Geom.EjectLatency(in, p.DstCore), p)
+			return
+		}
+		out := chip.ChannelSpec{Dim: st.Dim, Dir: st.Dir, Slice: int(p.Slice)}
+		p.Out = int8(out.Index())
+		p.State = packet.WalkTransit
+		m.K.AfterActor(m.Geom.TransitLatency(in, out), p)
+
+	case packet.WalkApply:
+		node := m.Node(p.Cur)
+		m.apply(node, p)
+		if p.Done != nil {
+			p.Done.Deliver(p)
+		}
+		m.pool.Put(p)
+
+	case packet.WalkFenceMerge:
+		node := m.Node(p.Cur)
+		id, hops, in := p.FenceID, p.FenceHops, chip.ChannelSpecAt(int(p.In))
+		m.pool.Put(p)
+		node.fenceArrive(id, hops, in)
+
+	default:
+		panic("machine: packet fired in an invalid walk state")
+	}
 }
 
 // apply commits a packet's effect at its destination node.
@@ -157,12 +155,11 @@ func (m *Machine) apply(n *Node, p *packet.Packet) {
 		n.sram(p.DstCore).CountedAccum(p.Addr, p.Payload)
 	case packet.ReadReq:
 		data := n.sram(p.DstCore).ReadQuad(p.Addr)
-		resp := &packet.Packet{
-			Type:    packet.ReadResp,
-			SrcNode: p.DstNode, DstNode: p.SrcNode,
-			SrcCore: p.DstCore, DstCore: p.SrcCore,
-			Addr: p.Addr,
-		}
+		resp := m.pool.Get()
+		resp.Type = packet.ReadResp
+		resp.SrcNode, resp.DstNode = p.DstNode, p.SrcNode
+		resp.SrcCore, resp.DstCore = p.DstCore, p.SrcCore
+		resp.Addr = p.Addr
 		resp.SetQuad(data)
 		m.Send(resp, nil)
 	case packet.ReadResp:
@@ -170,7 +167,7 @@ func (m *Machine) apply(n *Node, p *packet.Packet) {
 		// so software can block on them.
 		n.sram(p.DstCore).CountedWrite(p.Addr, p.Payload)
 	case packet.Position, packet.Force, packet.EndOfStep:
-		// Endpoint behavior belongs to the caller's deliver callback
+		// Endpoint behavior belongs to the caller's Done deliverer
 		// (the timestep engine counts these into ICB/GC queues).
 	case packet.Fence:
 		panic("machine: fence packets travel via the fence engine, not Send")

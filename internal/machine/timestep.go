@@ -237,13 +237,14 @@ func (e *Engine) multicast(atom uint32, core packet.CoreID, rel fixp.Fixed, home
 			next := shape.Neighbor(at, step.Dim, step.Dir)
 			nextIn := chip.ChannelSpec{Dim: step.Dim, Dir: -step.Dir, Slice: slice}
 			send := func() {
-				p := &packet.Packet{
-					ID: m.nextPktID(), Type: packet.Position,
-					SrcNode: home, DstNode: next,
-					SrcCore: core, AtomID: atom,
-				}
+				p := m.pool.Get()
+				p.ID = m.nextPktID()
+				p.Type = packet.Position
+				p.SrcNode, p.DstNode = home, next
+				p.SrcCore, p.AtomID = core, atom
 				p.SetQuad(rel.Words())
-				node.out[outSpec].Send(p, func(q *packet.Packet) {
+				node.out[outSpec.Index()].Send(p, func(q *packet.Packet) {
+					m.pool.Put(q)
 					walk(next, nextIn, true)
 				})
 			}
@@ -279,20 +280,24 @@ func (e *Engine) streamArrive(st *nodeStep, atom uint32, at topo.Coord, origin p
 		if at != home {
 			// Stream-set force returns to the origin GC.
 			ff := fixp.ForceToFixed(e.sys.Force[atom])
-			p := &packet.Packet{
-				Type: packet.Force, AtomID: atom,
-				SrcNode: at, DstNode: home,
-				DstCore: origin,
-			}
+			p := m.pool.Get()
+			p.Type = packet.Force
+			p.AtomID = atom
+			p.SrcNode, p.DstNode = at, home
+			p.DstCore = origin
 			p.SetQuad(ff.Words())
-			m.Send(p, func() {
-				hs := e.states[m.Shape().Index(home)]
-				hs.forcesArrived++
-				e.maybeIntegrate(hs)
-			})
+			m.Send(p, e)
 		}
 		e.maybeUnload(st)
 	})
+}
+
+// Deliver counts a stream-set force return into its home node's state
+// (packet.Deliverer); the home is the force packet's destination.
+func (e *Engine) Deliver(p *packet.Packet) {
+	hs := e.states[e.m.Shape().Index(p.DstNode)]
+	hs.forcesArrived++
+	e.maybeIntegrate(hs)
 }
 
 // maybeUnload fires the stored-set force unload once the ICB fence has
@@ -332,6 +337,9 @@ func (e *Engine) AttachChannelTrace(rec *trace.Recorder) {
 	e.Rec = rec
 	for _, n := range e.m.nodes {
 		for _, ch := range n.out {
+			if ch == nil {
+				continue
+			}
 			ch.OnSend = func(p *packet.Packet, start, end sim.Time) {
 				switch p.Type {
 				case packet.Position:

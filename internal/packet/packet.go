@@ -97,6 +97,45 @@ func (t Type) Class() Class {
 	return Request
 }
 
+// Deliverer receives a packet at its destination endpoint, after the SRAM
+// update. Implementations must not retain p past the call: pooled packets
+// are recycled as soon as Deliver returns.
+type Deliverer interface {
+	Deliver(p *Packet)
+}
+
+// Walker advances a packet through the network. The machine installs itself
+// as the walker when it accepts a packet; each timing event then fires the
+// packet itself (Packet implements sim.Actor) and the walker interprets the
+// packet's embedded walk state. This replaces a chain of per-hop scheduled
+// closures with a single reusable handler, which is what makes the
+// steady-state hot path allocation-free.
+type Walker interface {
+	OnPacket(p *Packet)
+}
+
+// WalkState says what a packet's next firing means to its Walker.
+type WalkState uint8
+
+// Walk states of the machine packet pipeline.
+const (
+	// WalkIdle: not in flight (freshly built or recycled).
+	WalkIdle WalkState = iota
+	// WalkTransit: the inject/transit latency has elapsed; cross the
+	// outbound channel Out at node Cur.
+	WalkTransit
+	// WalkArrive: the packet just emerged from a channel at node Cur,
+	// having entered through receiver-side channel In; decide the next hop
+	// or start ejecting.
+	WalkArrive
+	// WalkApply: the eject/on-chip latency has elapsed; apply the packet at
+	// its destination and deliver.
+	WalkApply
+	// WalkFenceMerge: the fence per-hop latency has elapsed; merge this
+	// fence copy at node Cur on channel In.
+	WalkFenceMerge
+)
+
 // CoreID locates a Geometry Core (or other endpoint) on a chip: the tile
 // and which of the tile's two GCs.
 type CoreID struct {
@@ -142,6 +181,56 @@ type Packet struct {
 	// Injected is when the packet entered the network, for latency
 	// accounting.
 	Injected sim.Time
+
+	// Walk state, owned by the Walker while the packet is in flight. Cur is
+	// the node the packet is at (or entering); Out and In are dense
+	// chip.ChannelSpec indices (chip.ChannelSpec.Index) of the chosen
+	// outbound channel and of the receiver-side channel just crossed (-1 at
+	// the source). Slice pins the channel slice for the whole walk; Tie is
+	// the even-ring direction tie-break fixed at injection.
+	Walker Walker
+	Done   Deliverer
+	Cur    topo.Coord
+	State  WalkState
+	Out    int8
+	In     int8
+	Slice  int8
+	Tie    bool
+
+	pooled bool
+}
+
+// Act fires the packet's next walk step (sim.Actor).
+func (p *Packet) Act() { p.Walker.OnPacket(p) }
+
+// Pool is a packet free list. Get returns a zeroed packet; Put recycles a
+// packet obtained from Get and ignores packets built elsewhere, so harness
+// code may mix pooled and literal packets freely. Not safe for concurrent
+// use — like a Kernel, a Pool belongs to one simulated machine.
+type Pool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, recycling a previously Put one if possible.
+func (pl *Pool) Get() *Packet {
+	n := len(pl.free) - 1
+	if n < 0 {
+		return &Packet{pooled: true}
+	}
+	p := pl.free[n]
+	pl.free[n] = nil
+	pl.free = pl.free[:n]
+	return p
+}
+
+// Put recycles p if it came from Get; packets allocated directly are left
+// to the garbage collector. p must not be referenced after Put.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	*p = Packet{pooled: true}
+	pl.free = append(pl.free, p)
 }
 
 // Flits returns the packet's flit count: one for header-only packets, two

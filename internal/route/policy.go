@@ -14,7 +14,20 @@ import (
 // the router model reports occupied downstream credits). A nil view means
 // "no load information" and adaptive policies fall back to a fixed
 // preference order.
-type LoadView func(dim topo.Dim, dir int) int64
+//
+// LoadView is an interface rather than a func type so hot paths can hand a
+// long-lived view object (the machine keeps one per node and slice, backed
+// by its dense channel table) to every decision without allocating a
+// per-decision closure.
+type LoadView interface {
+	Load(dim topo.Dim, dir int) int64
+}
+
+// LoadFunc adapts an ad-hoc function to a LoadView (tests, one-off views).
+type LoadFunc func(dim topo.Dim, dir int) int64
+
+// Load implements LoadView.
+func (f LoadFunc) Load(dim topo.Dim, dir int) int64 { return f(dim, dir) }
 
 // Policy is a request-packet routing policy: it picks the dimension order
 // recorded on the packet, chooses each hop's output, and assigns virtual
@@ -150,9 +163,9 @@ func (adaptive) NextStep(s topo.Shape, cur, dst topo.Coord, _ topo.DimOrder, _ b
 	}
 	best := cands[0]
 	if view != nil {
-		bestLoad := view(best.Dim, best.Dir)
+		bestLoad := view.Load(best.Dim, best.Dir)
 		for _, st := range cands[1:] {
-			if l := view(st.Dim, st.Dir); l < bestLoad {
+			if l := view.Load(st.Dim, st.Dir); l < bestLoad {
 				best, bestLoad = st, l
 			}
 		}

@@ -69,7 +69,7 @@ func TestAdaptiveStaysMinimal(t *testing.T) {
 	rng := sim.NewRand(11)
 	// A hostile view (random loads) must never push the walk off minimal
 	// routes: the walk terminates in exactly HopDist hops.
-	view := func(topo.Dim, int) int64 { return int64(rng.Intn(1000)) }
+	view := LoadFunc(func(topo.Dim, int) int64 { return int64(rng.Intn(1000)) })
 	f := func(a, b uint16) bool {
 		src := s.CoordOf(int(a) % s.Nodes())
 		dst := s.CoordOf(int(b) % s.Nodes())
@@ -92,12 +92,12 @@ func TestAdaptiveAvoidsLoadedDimension(t *testing.T) {
 	s := topo.Shape{X: 4, Y: 4, Z: 8}
 	p := MinimalAdaptive()
 	// X+ is congested; the first hop must go Y+ instead.
-	view := func(d topo.Dim, dir int) int64 {
+	view := LoadFunc(func(d topo.Dim, dir int) int64 {
 		if d == topo.X {
 			return 100
 		}
 		return 0
-	}
+	})
 	st, ok := p.NextStep(s, topo.Coord{}, topo.Coord{X: 1, Y: 1}, topo.OrderXYZ, true, view)
 	if !ok || st.Dim != topo.Y {
 		t.Fatalf("adaptive picked %v under X congestion, want Y+", st)

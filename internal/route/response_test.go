@@ -1,0 +1,48 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anton3/internal/topo"
+)
+
+// TestResponseNextReplaysResponseRoute pins the contract the machine's
+// iterative walker depends on: stepping ResponseNext from any point along
+// the way reproduces exactly the precomputed ResponseRoute step sequence,
+// so responses need no stored route.
+func TestResponseNextReplaysResponseRoute(t *testing.T) {
+	s := topo.Shape{X: 4, Y: 4, Z: 8}
+	f := func(a, b uint16) bool {
+		src := s.CoordOf(int(a) % s.Nodes())
+		dst := s.CoordOf(int(b) % s.Nodes())
+		want := ResponseRoute(s, src, dst, nil)
+		cur := src
+		for i := 0; ; i++ {
+			st, ok := ResponseNext(cur, dst)
+			if !ok {
+				return i == len(want) && cur == dst
+			}
+			if i >= len(want) || st != want[i] {
+				return false
+			}
+			// Mesh step: no wraparound, plain coordinate move.
+			cur = cur.With(st.Dim, cur.Get(st.Dim)+st.Dir)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResponseRouteAppendsIntoBuf(t *testing.T) {
+	s := topo.Shape{X: 4, Y: 4, Z: 8}
+	buf := make([]topo.Step, 0, 16)
+	got := ResponseRoute(s, topo.Coord{}, topo.Coord{X: 3, Z: 2}, buf)
+	if len(got) != 5 {
+		t.Fatalf("route length %d, want 5 (3 mesh X hops + 2 Z hops)", len(got))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("ResponseRoute did not use the provided buffer")
+	}
+}

@@ -59,19 +59,38 @@ func RequestRoute(s topo.Shape, src, dst topo.Coord, o topo.DimOrder) []topo.Ste
 // dimension order, never using wraparound links (the torus is treated as a
 // mesh), so the path may be non-minimal. The paper accepts this because
 // almost all simulation traffic is architected to be request class.
-func ResponseRoute(s topo.Shape, src, dst topo.Coord) []topo.Step {
-	var steps []topo.Step
+// It appends into buf, so callers with a reusable buffer allocate nothing.
+func ResponseRoute(s topo.Shape, src, dst topo.Coord, buf []topo.Step) []topo.Step {
+	cur := src
+	for {
+		st, ok := ResponseNext(cur, dst)
+		if !ok {
+			return buf
+		}
+		buf = append(buf, st)
+		cur = cur.With(st.Dim, cur.Get(st.Dim)+st.Dir)
+	}
+}
+
+// ResponseNext returns the next hop of the response route from cur to dst,
+// or ok=false at the destination. Because the mesh-restricted route moves
+// monotonically dimension by dimension in XYZ order and never wraps, the
+// remainder of the route is derivable from the current position alone —
+// which is what lets the machine walk responses hop by hop without storing
+// a precomputed step list on the packet.
+func ResponseNext(cur, dst topo.Coord) (topo.Step, bool) {
 	for _, dim := range topo.OrderXYZ {
-		a, b := src.Get(dim), dst.Get(dim)
+		a, b := cur.Get(dim), dst.Get(dim)
+		if a == b {
+			continue
+		}
 		dir := 1
 		if b < a {
 			dir = -1
 		}
-		for i := 0; i < (b-a)*dir; i++ {
-			steps = append(steps, topo.Step{Dim: dim, Dir: dir})
-		}
+		return topo.Step{Dim: dim, Dir: dir}, true
 	}
-	return steps
+	return topo.Step{}, false
 }
 
 // HopVCs annotates each hop of a request route with its VC, applying the

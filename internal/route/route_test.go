@@ -61,7 +61,7 @@ func TestResponseRouteNeverWraps(t *testing.T) {
 		src := s.CoordOf(int(a) % s.Nodes())
 		dst := s.CoordOf(int(b) % s.Nodes())
 		cur := src
-		for _, st := range ResponseRoute(s, src, dst) {
+		for _, st := range ResponseRoute(s, src, dst, nil) {
 			next := s.Neighbor(cur, st.Dim, st.Dir)
 			// A wraparound hop changes the coordinate against the
 			// direction of travel.
@@ -83,7 +83,7 @@ func TestResponseRouteNeverWraps(t *testing.T) {
 func TestResponseRouteCanBeNonMinimal(t *testing.T) {
 	s := topo.Shape{X: 4, Y: 4, Z: 8}
 	src, dst := topo.Coord{X: 0}, topo.Coord{X: 3}
-	steps := ResponseRoute(s, src, dst)
+	steps := ResponseRoute(s, src, dst, nil)
 	if len(steps) != 3 {
 		t.Fatalf("mesh-restricted 0->3 should take 3 hops, got %d", len(steps))
 	}
@@ -94,7 +94,7 @@ func TestResponseRouteCanBeNonMinimal(t *testing.T) {
 
 func TestResponseRouteXYZOrder(t *testing.T) {
 	s := topo.Shape{X: 4, Y: 4, Z: 8}
-	steps := ResponseRoute(s, topo.Coord{X: 0, Y: 3, Z: 5}, topo.Coord{X: 2, Y: 1, Z: 7})
+	steps := ResponseRoute(s, topo.Coord{X: 0, Y: 3, Z: 5}, topo.Coord{X: 2, Y: 1, Z: 7}, nil)
 	rank := map[topo.Dim]int{topo.X: 0, topo.Y: 1, topo.Z: 2}
 	last := -1
 	for _, st := range steps {

@@ -71,6 +71,7 @@ type Router struct {
 	peers   []creditPeer // upstream router feeding each input port
 	busy    []sim.Time   // per-output serialization horizon
 	rrIn    []int        // round-robin pointer per output port
+	qfree   []*qent      // recycled queue entries (one live entry per queued packet)
 
 	// Forwarded counts packets sent out each output port.
 	Forwarded []uint64
@@ -137,8 +138,22 @@ func (r *Router) Inject(p, vc int, pkt *packet.Packet) {
 	if r.queuedFlits(p, vc)+pkt.Flits() > r.cfg.QueueFlits {
 		panic(fmt.Sprintf("router %s: input queue overflow on port %d vc %d", r.cfg.Name, p, vc))
 	}
-	r.queues[p][vc] = append(r.queues[p][vc], &qent{pkt: pkt, arrivedVC: vc})
+	e := r.getQent()
+	e.pkt, e.arrivedVC = pkt, vc
+	r.queues[p][vc] = append(r.queues[p][vc], e)
 	r.k.After(0, r.pump)
+}
+
+// getQent recycles a forwarded queue entry, so steady-state traffic stops
+// allocating one per packet per hop.
+func (r *Router) getQent() *qent {
+	n := len(r.qfree) - 1
+	if n < 0 {
+		return &qent{}
+	}
+	e := r.qfree[n]
+	r.qfree = r.qfree[:n]
+	return e
 }
 
 // CanAccept reports whether input port p, VC vc has room for pkt.
@@ -228,6 +243,8 @@ func (r *Router) forward(out, in int, e *qent) {
 	link := r.outs[out]
 	arrival := now + r.hop + ser + link.wire
 	pkt, ovc := e.pkt, e.outVC
+	e.pkt = nil
+	r.qfree = append(r.qfree, e)
 	if link.sink != nil {
 		r.k.At(arrival, func() { link.sink(pkt) })
 	} else if link.dst != nil {

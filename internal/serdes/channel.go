@@ -99,6 +99,23 @@ func (ch *Channel) Carried() uint64 { return ch.carried }
 // latency. Delivery order always matches send order — the in-order property
 // the network fence builds on.
 func (ch *Channel) Send(p *packet.Packet, deliver func(*packet.Packet)) sim.Time {
+	out, arrival := ch.transmit(p)
+	if deliver != nil {
+		ch.k.At(arrival, func() { deliver(out) })
+	}
+	return arrival
+}
+
+// SendPacket is the closure-free variant of Send: the packet itself (a
+// sim.Actor whose walk state encodes what arrival means) is scheduled at
+// the far end. Timing and accounting are identical to Send.
+func (ch *Channel) SendPacket(p *packet.Packet) sim.Time {
+	out, arrival := ch.transmit(p)
+	ch.k.AtActor(arrival, out)
+	return arrival
+}
+
+func (ch *Channel) transmit(p *packet.Packet) (*packet.Packet, sim.Time) {
 	out, bits := ch.comp.Transmit(p)
 	ser := ch.SerializeTime(bits)
 	now := ch.k.Now()
@@ -113,8 +130,5 @@ func (ch *Channel) Send(p *packet.Packet, deliver func(*packet.Packet)) sim.Time
 	if ch.OnSend != nil {
 		ch.OnSend(p, start, ch.busy)
 	}
-	if deliver != nil {
-		ch.k.At(arrival, func() { deliver(out) })
-	}
-	return arrival
+	return out, arrival
 }

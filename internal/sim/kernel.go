@@ -3,10 +3,20 @@ package sim
 // Handler is a callback invoked when an event fires.
 type Handler func()
 
+// Actor is the closure-free event variant: objects that carry their own
+// callback state (e.g. an in-flight packet) implement Act and are scheduled
+// directly with AtActor/AfterActor. The interface value is two words copied
+// into the event pool, so scheduling an existing object allocates nothing —
+// the property the machine's packet hot path is built on.
+type Actor interface {
+	Act()
+}
+
 type event struct {
-	at  Time
-	seq uint64
-	fn  Handler
+	at    Time
+	seq   uint64
+	fn    Handler
+	actor Actor
 }
 
 // Kernel is a discrete-event simulation executive. It is not safe for
@@ -98,10 +108,22 @@ func (k *Kernel) siftDown(i int) {
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // it is always a modeling bug.
 func (k *Kernel) At(at Time, fn Handler) {
+	k.push(at, event{fn: fn})
+}
+
+// AtActor schedules a.Act() to run at absolute time at. Unlike At, no
+// closure is involved: the two-word interface value is stored in the event
+// pool directly, so the call is allocation-free once the pool has grown.
+func (k *Kernel) AtActor(at Time, a Actor) {
+	k.push(at, event{actor: a})
+}
+
+func (k *Kernel) push(at Time, e event) {
 	if at < k.now {
 		panic("sim: event scheduled in the past")
 	}
 	k.seq++
+	e.at, e.seq = at, k.seq
 	var idx int32
 	if n := len(k.free) - 1; n >= 0 {
 		idx = k.free[n]
@@ -110,7 +132,7 @@ func (k *Kernel) At(at Time, fn Handler) {
 		k.pool = append(k.pool, event{})
 		idx = int32(len(k.pool) - 1)
 	}
-	k.pool[idx] = event{at: at, seq: k.seq, fn: fn}
+	k.pool[idx] = e
 	k.heap = append(k.heap, idx)
 	k.siftUp(len(k.heap) - 1)
 	k.rootAt = k.pool[k.heap[0]].at
@@ -124,6 +146,14 @@ func (k *Kernel) After(delay Time, fn Handler) {
 	k.At(k.now+delay, fn)
 }
 
+// AfterActor schedules a.Act() delay picoseconds from now (see AtActor).
+func (k *Kernel) AfterActor(delay Time, a Actor) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	k.AtActor(k.now+delay, a)
+}
+
 // Stop makes Run return after the currently executing event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
@@ -132,7 +162,9 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) step() {
 	slot := k.heap[0]
 	e := k.pool[slot]
-	k.pool[slot].fn = nil // drop the closure so the GC can collect it
+	// Drop the references so the GC can collect closures and actors.
+	k.pool[slot].fn = nil
+	k.pool[slot].actor = nil
 	k.free = append(k.free, slot)
 	last := len(k.heap) - 1
 	k.heap[0] = k.heap[last]
@@ -143,7 +175,11 @@ func (k *Kernel) step() {
 	}
 	k.now = e.at
 	k.fired++
-	e.fn()
+	if e.fn != nil {
+		e.fn()
+	} else {
+		e.actor.Act()
+	}
 }
 
 // Run executes events until the queue drains or Stop is called. It returns

@@ -1,0 +1,64 @@
+package synth
+
+import (
+	"testing"
+
+	"anton3/internal/machine"
+	"anton3/internal/route"
+	"anton3/internal/serdes"
+	"anton3/internal/testutil"
+	"anton3/internal/topo"
+)
+
+// TestSynthInnerLoopAllocFree pins the harness's steady-state inner loop —
+// pooled packet out of the machine, Send, walk, delivery into the
+// pre-sized latency buffer — at zero heap allocations. This is the loop a
+// netsweep cell runs nodes x (warmup+packets) times.
+func TestSynthInnerLoopAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	shape := topo.Shape{X: 4, Y: 4, Z: 8}
+	mcfg := machine.DefaultConfig(shape)
+	mcfg.Compress = serdes.CompressConfig{}
+	mcfg.Policy = route.Random()
+	m := machine.New(mcfg)
+	rs := &runState{
+		m: m, shape: shape, total: 4, warmup: 0,
+		lats: make([]float64, 0, 1<<16),
+	}
+	src, dst := topo.Coord{}, topo.Coord{X: 2, Y: 3, Z: 6}
+	srcID, dstID := m.GC(src, 0).ID, m.GC(dst, 0).ID
+	var atom uint32
+	inner := func() {
+		rs.inject(src, dst, srcID, dstID, atom)
+		atom++
+		m.K.Run()
+	}
+	for i := 0; i < 32; i++ {
+		inner()
+	}
+	if n := testing.AllocsPerRun(200, inner); n != 0 {
+		t.Fatalf("synth inner loop allocates %.1f times/op, want 0", n)
+	}
+}
+
+// BenchmarkNetsweep times one small netsweep cell (128 nodes, uniform
+// traffic, random policy, load 2) end to end: machine build, Poisson
+// schedule, timed run, drain, statistics.
+func BenchmarkNetsweep(b *testing.B) {
+	cfg := RunConfig{
+		Shape:   topo.Shape{X: 4, Y: 4, Z: 8},
+		Policy:  route.Random(),
+		Pattern: Uniform(),
+		Load:    2,
+		Packets: 16,
+		Warmup:  4,
+		Seed:    7,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Run(cfg)
+	}
+}

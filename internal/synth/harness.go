@@ -53,6 +53,43 @@ type Point struct {
 	TailNs float64 `json:"tail_ns"`
 }
 
+// runState is the measurement sink of one Run: it implements
+// packet.Deliverer, so the harness's steady-state inner loop — take a
+// pooled packet, inject, walk the network, record the latency at delivery —
+// allocates nothing. The latency buffer is pre-sized to the exact delivered
+// packet count.
+type runState struct {
+	m      *machine.Machine
+	shape  topo.Shape
+	total  int // packets per node including warmup
+	warmup int
+	lats   []float64
+	hops   int64
+}
+
+// inject builds one traffic packet from the machine's pool and sends it.
+// atom encodes (node, k) as node*total+k, which keeps the historical
+// slice/tie affinity bits and lets Deliver recover whether the packet
+// belongs to the measured window.
+func (rs *runState) inject(src, dst topo.Coord, srcCore, dstCore packet.CoreID, atom uint32) {
+	p := rs.m.NewPacket()
+	p.Type = packet.Position
+	p.SrcNode, p.DstNode = src, dst
+	p.SrcCore, p.DstCore = srcCore, dstCore
+	p.AtomID = atom
+	p.SetQuad([4]uint32{atom, 0xfeed, 0xbeef, 0xcafe})
+	rs.m.Send(p, rs)
+}
+
+// Deliver records one delivered packet (packet.Deliverer).
+func (rs *runState) Deliver(p *packet.Packet) {
+	if int(p.AtomID)%rs.total < rs.warmup {
+		return
+	}
+	rs.lats = append(rs.lats, (rs.m.K.Now() - p.Injected).Nanoseconds())
+	rs.hops += int64(rs.shape.HopDist(p.SrcNode, p.DstNode))
+}
+
 // Run injects Pattern traffic at the configured load on a private machine
 // and returns the latency statistics of the measured window. The machine
 // runs with compression off (network-only timing) and the kernel drains
@@ -75,8 +112,10 @@ func Run(cfg RunConfig) Point {
 	meanGap := float64(base) / cfg.Load
 
 	total := cfg.Warmup + cfg.Packets
-	var lats []float64
-	var hops int64
+	rs := &runState{
+		m: m, shape: cfg.Shape, total: total, warmup: cfg.Warmup,
+		lats: make([]float64, 0, nodes*cfg.Packets),
+	}
 	var injectEnd sim.Time
 	for i := 0; i < nodes; i++ {
 		src := cfg.Shape.CoordOf(i)
@@ -92,24 +131,9 @@ func Run(cfg RunConfig) Point {
 			t += gap
 			dst := cfg.Pattern.Dest(cfg.Shape, src, rng)
 			dstGC := m.GC(dst, 0)
-			measured := k >= cfg.Warmup
 			atom := uint32(i*total + k)
-			m.K.At(t, func() {
-				p := &packet.Packet{
-					Type:    packet.Position,
-					SrcNode: src, DstNode: dst,
-					SrcCore: srcGC.ID, DstCore: dstGC.ID,
-					AtomID: atom,
-				}
-				p.SetQuad([4]uint32{atom, 0xfeed, 0xbeef, 0xcafe})
-				t0 := m.K.Now()
-				m.Send(p, func() {
-					if measured {
-						lats = append(lats, (m.K.Now() - t0).Nanoseconds())
-						hops += int64(cfg.Shape.HopDist(src, dst))
-					}
-				})
-			})
+			srcID, dstID := srcGC.ID, dstGC.ID
+			m.K.At(t, func() { rs.inject(src, dst, srcID, dstID, atom) })
 		}
 		if t > injectEnd {
 			injectEnd = t
@@ -117,9 +141,10 @@ func Run(cfg RunConfig) Point {
 	}
 	drainEnd := m.K.Run()
 
-	if len(lats) != nodes*cfg.Packets {
-		panic(fmt.Sprintf("synth: delivered %d of %d measured packets", len(lats), nodes*cfg.Packets))
+	if len(rs.lats) != nodes*cfg.Packets {
+		panic(fmt.Sprintf("synth: delivered %d of %d measured packets", len(rs.lats), nodes*cfg.Packets))
 	}
+	lats := rs.lats
 	sort.Float64s(lats)
 	var sum float64
 	for _, l := range lats {
@@ -129,7 +154,7 @@ func Run(cfg RunConfig) Point {
 		Load:    cfg.Load,
 		AvgNs:   sum / float64(len(lats)),
 		P99Ns:   lats[len(lats)*99/100],
-		AvgHops: float64(hops) / float64(len(lats)),
+		AvgHops: float64(rs.hops) / float64(len(lats)),
 		TailNs:  (drainEnd - injectEnd).Nanoseconds(),
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in.
+// Allocation-count regression tests skip under -race: the instrumentation
+// itself allocates, so testing.AllocsPerRun cannot pin zero there.
+const RaceEnabled = false

@@ -88,11 +88,16 @@ func Route(s Shape, src, dst Coord, o DimOrder) []Step {
 // direction, and hardware load-balances across both physical links.
 // plusOnTie selects the + direction for such ties (Route always picks +).
 func RouteTie(s Shape, src, dst Coord, o DimOrder, plusOnTie bool) []Step {
+	return AppendRouteTie(make([]Step, 0, s.HopDist(src, dst)), s, src, dst, o, plusOnTie)
+}
+
+// AppendRouteTie is RouteTie appending into buf, for callers replaying
+// many routes with a reusable buffer.
+func AppendRouteTie(buf []Step, s Shape, src, dst Coord, o DimOrder, plusOnTie bool) []Step {
 	if !o.Valid() {
 		panic("topo: invalid dimension order")
 	}
 	d := s.Delta(src, dst)
-	steps := make([]Step, 0, s.HopDist(src, dst))
 	for _, dim := range o {
 		n := d.Get(dim)
 		size := s.Get(dim)
@@ -104,10 +109,10 @@ func RouteTie(s Shape, src, dst Coord, o DimOrder, plusOnTie bool) []Step {
 			dir = -dir
 		}
 		for i := 0; i < n; i++ {
-			steps = append(steps, Step{Dim: dim, Dir: dir})
+			buf = append(buf, Step{Dim: dim, Dir: dir})
 		}
 	}
-	return steps
+	return buf
 }
 
 // LegalNextSteps appends to buf the minimal next hops from cur toward dst:

@@ -10,6 +10,7 @@
 package traffic
 
 import (
+	"anton3/internal/chip"
 	"anton3/internal/fixp"
 	"anton3/internal/md"
 	"anton3/internal/packet"
@@ -18,24 +19,26 @@ import (
 	"anton3/internal/topo"
 )
 
-type chanKey struct {
-	node  int
-	dim   topo.Dim
-	dir   int
-	slice int
-}
-
 // Replayer owns one compressor per channel slice of the machine and feeds
-// them the traffic a decomposed MD step generates.
+// them the traffic a decomposed MD step generates. The table is dense —
+// indexed by node index x chip.ChannelSpec.Index — so the per-packet replay
+// path is a couple of multiplies instead of a map lookup; entries stay nil
+// until a channel first carries traffic.
 type Replayer struct {
 	shape  topo.Shape
 	decomp *md.Decomposition
 	cfg    serdes.CompressConfig
-	comps  map[chanKey]*serdes.Compressor
+	comps  []*serdes.Compressor // [node*chip.NumChannelSpecs + spec.Index()]
+	live   int                  // non-nil entries
 
 	// scratch buffers reused across atoms
 	targets []topo.Coord
 	edges   []md.ChannelEdge
+	steps   []topo.Step
+	// pkt is the reusable transmit packet: Compressor.Transmit only reads
+	// it (and hands back the same instance), so one scratch packet serves
+	// the whole replay instead of one allocation per channel crossing.
+	pkt packet.Packet
 }
 
 // NewReplayer builds the per-channel pipelines for a system decomposed
@@ -45,18 +48,20 @@ func NewReplayer(shape topo.Shape, box float64, cfg serdes.CompressConfig) *Repl
 		shape:  shape,
 		decomp: md.NewDecomposition(shape, box),
 		cfg:    cfg,
-		comps:  make(map[chanKey]*serdes.Compressor),
+		comps:  make([]*serdes.Compressor, shape.Nodes()*chip.NumChannelSpecs),
 	}
 }
 
 // Decomposition exposes the partition (shared with the timed engine).
 func (r *Replayer) Decomposition() *md.Decomposition { return r.decomp }
 
-func (r *Replayer) comp(k chanKey) *serdes.Compressor {
-	c, ok := r.comps[k]
-	if !ok {
+func (r *Replayer) comp(node int, dim topo.Dim, dir, slice int) *serdes.Compressor {
+	i := node*chip.NumChannelSpecs + chip.ChannelSpec{Dim: dim, Dir: dir, Slice: slice}.Index()
+	c := r.comps[i]
+	if c == nil {
 		c = serdes.NewCompressor(r.cfg)
-		r.comps[k] = c
+		r.comps[i] = c
+		r.live++
 	}
 	return c
 }
@@ -84,10 +89,9 @@ func (r *Replayer) ReplayStep(s *md.System) {
 		// Position export: once per multicast tree edge.
 		r.edges = md.MulticastEdges(r.shape, home, r.targets, plusOnTie, r.edges)
 		for _, e := range r.edges {
-			k := chanKey{r.shape.Index(e.From), e.Step.Dim, e.Step.Dir, slice}
-			p := &packet.Packet{Type: packet.Position, AtomID: uint32(i)}
-			p.SetQuad(rel.Words())
-			r.comp(k).Transmit(p)
+			r.pkt = packet.Packet{Type: packet.Position, AtomID: uint32(i)}
+			r.pkt.SetQuad(rel.Words())
+			r.comp(r.shape.Index(e.From), e.Step.Dim, e.Step.Dir, slice).Transmit(&r.pkt)
 		}
 
 		// Stream-set force returns: each target computed a partial force
@@ -97,19 +101,22 @@ func (r *Replayer) ReplayStep(s *md.System) {
 		ff := fixp.ForceToFixed(s.Force[i])
 		for _, tgt := range r.targets {
 			cur := tgt
-			for _, st := range topo.RouteTie(r.shape, tgt, home, topo.OrderXYZ, plusOnTie) {
-				k := chanKey{r.shape.Index(cur), st.Dim, st.Dir, slice}
-				p := &packet.Packet{Type: packet.Force, AtomID: uint32(i)}
-				p.SetQuad(ff.Words())
-				r.comp(k).Transmit(p)
+			r.steps = topo.AppendRouteTie(r.steps[:0], r.shape, tgt, home, topo.OrderXYZ, plusOnTie)
+			for _, st := range r.steps {
+				r.pkt = packet.Packet{Type: packet.Force, AtomID: uint32(i)}
+				r.pkt.SetQuad(ff.Words())
+				r.comp(r.shape.Index(cur), st.Dim, st.Dir, slice).Transmit(&r.pkt)
 				cur = r.shape.Neighbor(cur, st.Dim, st.Dir)
 			}
 		}
 	}
 
 	// End-of-step marker down every channel that carried traffic.
+	r.pkt = packet.Packet{Type: packet.EndOfStep}
 	for _, c := range r.comps {
-		c.Transmit(&packet.Packet{Type: packet.EndOfStep})
+		if c != nil {
+			c.Transmit(&r.pkt)
+		}
 	}
 }
 
@@ -117,6 +124,9 @@ func (r *Replayer) ReplayStep(s *md.System) {
 func (r *Replayer) Stats() serdes.Stats {
 	var t serdes.Stats
 	for _, c := range r.comps {
+		if c == nil {
+			continue
+		}
 		st := c.Stats()
 		t.Packets += st.Packets
 		t.WireBits += st.WireBits
@@ -135,6 +145,9 @@ func (r *Replayer) Stats() serdes.Stats {
 func (r *Replayer) CacheStats() pcache.Stats {
 	var t pcache.Stats
 	for _, c := range r.comps {
+		if c == nil {
+			continue
+		}
 		st := c.CacheStats()
 		t.Hits += st.Hits
 		t.Misses += st.Misses
@@ -152,12 +165,12 @@ func (r *Replayer) CacheStats() pcache.Stats {
 func (r *Replayer) Snapshot() serdes.Stats { return r.Stats() }
 
 // Channels reports how many channel slices carried traffic.
-func (r *Replayer) Channels() int { return len(r.comps) }
+func (r *Replayer) Channels() int { return r.live }
 
 // InSync verifies every channel's cache pair.
 func (r *Replayer) InSync() bool {
 	for _, c := range r.comps {
-		if !c.InSync() {
+		if c != nil && !c.InSync() {
 			return false
 		}
 	}
