@@ -36,6 +36,7 @@ func run() int {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	jobs := fs.Int("jobs", 0, "worker count for independent experiments (0 = all cores)")
+	shards := fs.Int("shards", 1, "kernel shards per netsweep machine (parallel simulation of one machine)")
 	jsonPath := fs.String("json", "", "write the runner report (timings, rows) to this file")
 	quiet := fs.Bool("q", false, "suppress the runner summary on stderr")
 	pairs := fs.Int("pairs", 6, "sampled GC pairs per hop count (fig5)")
@@ -84,7 +85,26 @@ func run() int {
 		}()
 	}
 
+	// Worker budgeting: a sharded netsweep machine runs shards goroutines
+	// at once, so the default worker count shrinks to keep jobs x shards
+	// within the core budget; explicit -jobs is respected with a warning.
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "anton3: -shards must be >= 1 (got %d)\n", *shards)
+		return 2
+	}
+	maxprocs := runtime.GOMAXPROCS(0)
+	if *jobs == 0 && *shards > 1 {
+		if *jobs = maxprocs / *shards; *jobs < 1 {
+			*jobs = 1
+		}
+	}
+	if *jobs**shards > maxprocs {
+		fmt.Fprintf(os.Stderr, "anton3: warning: jobs(%d) x shards(%d) exceeds GOMAXPROCS(%d); workers will contend\n",
+			*jobs, *shards, maxprocs)
+	}
+
 	p := experiments.DefaultParams()
+	p.NetShards = *shards
 	p.Fig5Pairs = *pairs
 	p.Fig12Atoms = *atoms
 	p.Fig9bSteps = *steps
@@ -189,6 +209,9 @@ subcommands:
 
 flags (after the subcommand):
   -jobs N    worker count; independent experiments run in parallel (0 = all cores)
+  -shards N  kernel shards per netsweep machine: one simulated machine runs
+             across N cores via conservative-lookahead parallel simulation,
+             byte-identical to -shards 1; default jobs drops to cores/N
   -json P    write the runner report (per-job rows and timings) to P
   -q         suppress the runner summary line on stderr
   -pairs, -atoms, -steps, -warm, -measure   experiment sizes (see -h)

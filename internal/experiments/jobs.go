@@ -37,6 +37,11 @@ type Params struct {
 	NetLoads   []float64    // offered loads swept per cell
 	NetPackets int          // measured packets per node per run
 	NetWarmup  int          // per-node packets injected before measurement
+	// NetShards shards each netsweep machine across that many kernels
+	// (conservative-lookahead parallel simulation; see machine.Config.
+	// Shards). Output is byte-identical at every value; 0 or 1 is the
+	// sequential machine.
+	NetShards int
 }
 
 // DefaultParams returns the paper-scale configuration.
@@ -149,7 +154,7 @@ func netsweepJobs(p Params) []runner.Job {
 				Seed: seed,
 				Cost: 0.1 * float64(shape.Nodes()) / 16,
 				Run: func(*sim.Rand) (runner.Output, error) {
-					r := synth.Sweep(shape, route.Policies(), pat, p.NetLoads, p.NetPackets, p.NetWarmup, seed)
+					r := synth.Sweep(shape, route.Policies(), pat, p.NetLoads, p.NetPackets, p.NetWarmup, seed, p.NetShards)
 					return runner.Output{Text: r.Render(), Data: r}, nil
 				}})
 		}

@@ -71,7 +71,7 @@ func (m *Machine) StartFence(pattern fence.Pattern, hops int, onComplete func(n 
 	gather := m.Geom.GatherLatency()
 	for _, n := range m.nodes {
 		node := n
-		m.K.After(gather, func() { node.fenceRoundComplete(id, 0) })
+		n.sh.k.After(gather, func() { node.fenceRoundComplete(id, 0) })
 	}
 	return id
 }
@@ -97,8 +97,8 @@ func (n *Node) fenceRoundComplete(id, r int) {
 		// Scatter back to this chip's endpoints (GCs translate the fence
 		// into a counted write and unblock their blocking reads).
 		m := n.m
-		at := m.K.Now() + m.Geom.ScatterLatency()
-		m.K.At(at, func() { op.onComplete(n, at) })
+		at := n.sh.k.Now() + m.Geom.ScatterLatency()
+		n.sh.k.At(at, func() { op.onComplete(n, at) })
 		return
 	}
 	if r+1 <= op.hops {
@@ -122,8 +122,8 @@ func (n *Node) relayFence(id, r int) {
 		// the channel pointing back toward us.
 		in := int8(cs.Opposite().Index())
 		for vc := 0; vc < n.m.policy.RequestVCs(); vc++ {
-			p := m.pool.Get()
-			p.ID = m.nextPktID()
+			p := n.sh.pool.Get()
+			p.ID = n.sh.nextPktID()
 			p.Type = packet.Fence
 			p.SrcNode = n.Coord
 			p.DstNode = dstCoord
@@ -150,7 +150,7 @@ func (m *Machine) fenceHopArrive(p *packet.Packet) {
 	}
 	lat := m.Clock.Cycles(cycles) + m.Geom.FenceHopExtra()
 	p.State = packet.WalkFenceMerge
-	m.K.AfterActor(lat, p)
+	m.Node(p.Cur).sh.k.AfterActor(lat, p)
 }
 
 // fenceArrive merges one fence copy for round r arriving on channel spec.
@@ -194,19 +194,34 @@ type BarrierResult struct {
 // machine and returns the barrier latency: all GCs issue the fence at the
 // same instant, and the barrier completes when the last node's blocking
 // read unblocks. hops = Shape.Diameter() is the global barrier.
+//
+// Barrier works on sharded machines: completion callbacks run on each
+// node's own shard, so the aggregation below is kept per shard and reduced
+// after the run. The result is shard-count invariant — fence merges are
+// counting reductions and completion times are pure functions of arrival
+// times, so no same-instant ordering choice can change them.
 func (m *Machine) Barrier(hops int) BarrierResult {
 	start := m.K.Now()
-	var last sim.Time
-	remaining := len(m.nodes)
+	lasts := make([]sim.Time, len(m.shards))
+	completed := make([]int, len(m.shards))
 	id := m.StartFence(fence.GCtoGC, hops, func(n *Node, at sim.Time) {
-		if at > last {
-			last = at
+		s := n.sh.id
+		if at > lasts[s] {
+			lasts[s] = at
 		}
-		remaining--
+		completed[s]++
 	})
-	m.K.Run()
-	if remaining != 0 {
-		panic(fmt.Sprintf("machine: barrier incomplete, %d nodes pending", remaining))
+	m.Run()
+	var last sim.Time
+	done := 0
+	for s := range m.shards {
+		if lasts[s] > last {
+			last = lasts[s]
+		}
+		done += completed[s]
+	}
+	if done != len(m.nodes) {
+		panic(fmt.Sprintf("machine: barrier incomplete, %d nodes pending", len(m.nodes)-done))
 	}
 	m.FinishFence(id)
 	return BarrierResult{Hops: hops, Latency: last - start}

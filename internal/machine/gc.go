@@ -41,6 +41,7 @@ func (g *GC) CountedAccum(dst *GC, addr uint32, quad [4]uint32) {
 }
 
 func (g *GC) send(t packet.Type, dst *GC, addr uint32, quad [4]uint32) {
+	g.m.requireSingleShard("GC endpoint ops")
 	p := g.m.pool.Get()
 	p.Type = t
 	p.SrcNode, p.DstNode = g.Node.Coord, dst.Node.Coord
@@ -57,6 +58,7 @@ func (g *GC) send(t packet.Type, dst *GC, addr uint32, quad [4]uint32) {
 // blocking-read wake latency) — the arrival-to-use path the hardware
 // optimizes (Section III-A).
 func (g *GC) BlockingRead(addr uint32, threshold uint8, fn func([4]uint32)) {
+	g.m.requireSingleShard("GC endpoint ops")
 	m := g.m
 	readLat := m.Clock.Cycles(m.cfg.Lat.MemWriteCycles)
 	wakeLat := m.Geom.WakeLatency()
@@ -83,6 +85,7 @@ type PingPongResult struct {
 // write of 16 bytes bounces back and forth; one-way end-to-end latency is
 // half the average round trip. The kernel is run to completion.
 func (m *Machine) PingPong(a, b *GC, iters int) PingPongResult {
+	m.requireSingleShard("PingPong")
 	if iters <= 0 || iters > 120 {
 		panic("machine: ping-pong iters must be in 1..120 (8-bit quad counters)")
 	}

@@ -31,6 +31,14 @@ type Config struct {
 	// DESIGN.md fixed-order ablation, route.MinimalAdaptive() the
 	// load-adaptive alternative the paper argues against.
 	Policy route.Policy
+	// Shards partitions the machine's nodes into that many contiguous
+	// shards, each with its own kernel, packet pool and rng, driven
+	// concurrently by a conservative-lookahead window loop (Machine.Run).
+	// The lookahead is Lat.ChannelFixed — the latency floor every
+	// inter-node packet pays — so cross-shard arrivals can always be
+	// merged at a window barrier. 0 or 1 means the classic single-kernel
+	// machine; values above the node count are clamped.
+	Shards int
 }
 
 // DefaultConfig returns the production configuration for a given torus
@@ -45,19 +53,44 @@ func DefaultConfig(shape topo.Shape) Config {
 	}
 }
 
+// mshard is one shard's execution context: a kernel, a packet free list
+// and an rng of its own, so shard goroutines share no mutable state while
+// a window executes. Node indices [lo, hi) belong to this shard.
+type mshard struct {
+	id     int
+	k      *sim.Kernel
+	pool   packet.Pool
+	rng    *sim.Rand
+	pktID  uint64
+	lo, hi int
+}
+
+// nextPktID hands out this shard's packet IDs.
+func (sh *mshard) nextPktID() uint64 {
+	sh.pktID++
+	return sh.pktID
+}
+
 // Machine is a simulated Anton 3 machine.
 type Machine struct {
-	cfg      Config
+	cfg Config
+	// K is shard 0's kernel — for single-shard machines (the default),
+	// simply the machine's kernel, as it has always been. Harness code
+	// that targets a specific node of a sharded machine uses NodeKernel.
 	K        *sim.Kernel
 	Clock    sim.Clock
 	Geom     *chip.Geometry
 	nodes    []*Node
-	rng      *sim.Rand
+	shards   []*mshard
+	exec     *sim.ParallelExec // nil for single-shard machines
+	lineage  bool              // maintain packet lineage for shard-count-invariant tie order
 	policy   route.Policy
-	adaptive bool // policy.Adaptive(), cached for the per-hop path
-	pktID    uint64
+	adaptive bool               // policy.Adaptive(), cached for the per-hop path
 	specs    []chip.ChannelSpec // the shape's channel specs, in dense-index order
-	pool     packet.Pool
+
+	// pool aliases shard 0's — the single-shard engines (timestep, GC
+	// endpoint ops) use it directly after requireSingleShard.
+	pool *packet.Pool
 
 	fenceAlloc fence.Allocator
 }
@@ -68,6 +101,7 @@ type Machine struct {
 // map.
 type Node struct {
 	m     *Machine
+	sh    *mshard // the shard that owns this node's events
 	Coord topo.Coord
 	out   [chip.NumChannelSpecs]*serdes.Channel // nil where the shape has no channel
 	srams []*mem.SRAM                           // per GC index; entries allocated lazily
@@ -79,17 +113,36 @@ type Node struct {
 	views   [chip.Slices]nodeLoadView
 }
 
+// shardSeed derives shard s's rng seed. Shard 0 uses the configured seed
+// unchanged, so a single-shard machine's stream is exactly the historical
+// machine rng. The tag constant domain-separates these streams from other
+// seed-derivation schemes in the tree (the synth harness's per-node
+// schedule rngs use seed ^ (i+1)*goldenGamma), so a shard's routing draws
+// can never replay another component's stream.
+func shardSeed(seed uint64, s int) uint64 {
+	if s == 0 {
+		return seed
+	}
+	return seed ^ 0x6d736861726400a5 ^ uint64(s)*0x9e3779b97f4a7c15
+}
+
 // New builds a machine; all nodes and channels are wired immediately, GC
 // SRAMs lazily.
 func New(cfg Config) *Machine {
 	if !cfg.Shape.Valid() {
 		panic(fmt.Sprintf("machine: invalid shape %v", cfg.Shape))
 	}
+	nNodes := cfg.Shape.Nodes()
+	P := cfg.Shards
+	if P < 1 {
+		P = 1
+	}
+	if P > nNodes {
+		P = nNodes
+	}
 	m := &Machine{
 		cfg:    cfg,
-		K:      sim.NewKernel(),
 		Clock:  sim.NewClock(cfg.ClockMHz),
-		rng:    sim.NewRand(cfg.Seed),
 		policy: cfg.Policy,
 	}
 	if m.policy == nil {
@@ -98,6 +151,30 @@ func New(cfg Config) *Machine {
 	m.adaptive = m.policy.Adaptive()
 	m.Geom = chip.New(m.Clock, cfg.Lat)
 	m.specs = chip.AllChannelSpecs(cfg.Shape)
+
+	m.shards = make([]*mshard, P)
+	for s := range m.shards {
+		m.shards[s] = &mshard{
+			id:  s,
+			k:   sim.NewKernel(),
+			rng: sim.NewRand(shardSeed(cfg.Seed, s)),
+			lo:  s * nNodes / P,
+			hi:  (s + 1) * nNodes / P,
+		}
+	}
+	m.K = m.shards[0].k
+	m.pool = &m.shards[0].pool
+	if P > 1 {
+		if cfg.Lat.ChannelFixed < 1 {
+			panic("machine: sharding requires a positive channel FixedLatency (the lookahead)")
+		}
+		ks := make([]*sim.Kernel, P)
+		for s, sh := range m.shards {
+			ks[s] = sh.k
+		}
+		m.exec = sim.NewParallelExec(ks, cfg.Lat.ChannelFixed)
+	}
+
 	gcs := m.Geom.GCs()
 	chCfg := serdes.ChannelConfig{
 		Lanes:        chip.LanesPerSlice,
@@ -105,10 +182,15 @@ func New(cfg Config) *Machine {
 		FixedLatency: cfg.Lat.ChannelFixed,
 		Compress:     cfg.Compress,
 	}
-	m.nodes = make([]*Node, cfg.Shape.Nodes())
+	m.nodes = make([]*Node, nNodes)
+	shard := 0
 	for i := range m.nodes {
+		for m.shards[shard].hi <= i {
+			shard++
+		}
 		n := &Node{
 			m:     m,
+			sh:    m.shards[shard],
 			Coord: cfg.Shape.CoordOf(i),
 			srams: make([]*mem.SRAM, gcs),
 		}
@@ -116,13 +198,25 @@ func New(cfg Config) *Machine {
 			n.specPos[j] = -1
 		}
 		for pos, cs := range m.specs {
-			n.out[cs.Index()] = serdes.NewChannel(m.K, chCfg)
+			n.out[cs.Index()] = serdes.NewChannel(n.sh.k, chCfg)
 			n.specPos[cs.Index()] = int8(pos)
 		}
 		for sl := range n.views {
 			n.views[sl] = nodeLoadView{n: n, slice: sl}
 		}
 		m.nodes[i] = n
+	}
+	// Channels whose far end lives on another shard defer arrivals to the
+	// executive's outboxes; everything else schedules locally.
+	if m.exec != nil {
+		for _, n := range m.nodes {
+			for _, cs := range m.specs {
+				nb := m.Node(cfg.Shape.Neighbor(n.Coord, cs.Dim, cs.Dir))
+				if nb.sh != n.sh {
+					n.out[cs.Index()].SetRemote(m.exec.Outbox(n.sh.id, nb.sh.id))
+				}
+			}
+		}
 	}
 	return m
 }
@@ -144,17 +238,107 @@ func (m *Machine) Node(c topo.Coord) *Node {
 // Nodes iterates over all nodes.
 func (m *Machine) Nodes() []*Node { return m.nodes }
 
-// nextPktID hands out unique packet IDs.
-func (m *Machine) nextPktID() uint64 {
-	m.pktID++
-	return m.pktID
+// NumShards reports how many kernel shards drive the machine (1 unless
+// Config.Shards asked for more).
+func (m *Machine) NumShards() int { return len(m.shards) }
+
+// ShardOf reports which shard owns the node at c.
+func (m *Machine) ShardOf(c topo.Coord) int { return m.Node(c).sh.id }
+
+// NodeKernel returns the kernel that executes events at the node at c —
+// the machine's one kernel on single-shard machines. Harnesses schedule
+// per-node setup events (traffic injections) here.
+func (m *Machine) NodeKernel(c topo.Coord) *sim.Kernel { return m.Node(c).sh.k }
+
+// nextPktID hands out packet IDs for single-shard engine paths.
+func (m *Machine) nextPktID() uint64 { return m.shards[0].nextPktID() }
+
+// NewPacket returns a zeroed packet from the machine's free list (shard
+// 0's, on a sharded machine). Packets sent through Send (or the fence
+// engine) are recycled automatically after delivery; harness code that
+// injects steady-state traffic should obtain packets here so the hot path
+// allocates nothing.
+func (m *Machine) NewPacket() *packet.Packet { return m.pool.Get() }
+
+// NewPacketAt is NewPacket from the free list of the shard owning node c.
+// Code running inside an event at node c (an injection actor, a delivery
+// callback) must use it so pools are never touched across shards.
+func (m *Machine) NewPacketAt(c topo.Coord) *packet.Packet { return m.Node(c).sh.pool.Get() }
+
+// DrawRoute consumes one request routing decision — the dimension order
+// and the even-ring direction tie — from the machine's injection rng,
+// exactly as Send draws for a request packet. Harnesses that pre-route
+// packets (packet.Packet.PreRouted) call it once per packet in the order a
+// sequential run's injections would fire, which keeps the stream — and
+// therefore every route — byte-identical to the non-pre-routed run at any
+// shard count.
+func (m *Machine) DrawRoute() (topo.DimOrder, bool) {
+	o := m.policy.Order(m.shards[0].rng)
+	return o, m.shards[0].rng.Intn(2) == 0
 }
 
-// NewPacket returns a zeroed packet from the machine's free list. Packets
-// sent through Send (or the fence engine) are recycled automatically after
-// delivery; harness code that injects steady-state traffic should obtain
-// packets here so the hot path allocates nothing.
-func (m *Machine) NewPacket() *packet.Packet { return m.pool.Get() }
+// BeginLineageRun switches a sharded machine's kernels to lineage tie
+// ordering and starts maintaining packet event histories, making
+// same-timestamp execution order — and thus results — independent of the
+// shard count for pre-routed workloads. Call after all setup events are
+// scheduled, immediately before Run. No-op on single-shard machines,
+// whose sequential order is the reference being reproduced.
+func (m *Machine) BeginLineageRun() {
+	if m.exec == nil {
+		return
+	}
+	m.lineage = true
+	m.exec.BeginLineageOrder()
+}
+
+// Run executes the machine to completion: the kernel's event loop on a
+// single-shard machine, the conservative-lookahead window loop across all
+// shard kernels otherwise. It returns the timestamp of the last executed
+// event.
+func (m *Machine) Run() sim.Time {
+	if m.exec != nil {
+		return m.exec.Run()
+	}
+	return m.K.Run()
+}
+
+// Reset returns the machine to its just-built state on the same topology
+// with a new seed: kernels, channels, rngs, packet IDs, SRAMs and fence
+// state all start fresh, while the event pools, packet free lists and
+// channel objects keep their capacity. A reset machine produces output
+// byte-identical to a newly built Machine with the same Config and seed —
+// the property the netsweep harness's machine reuse rests on.
+func (m *Machine) Reset(seed uint64) {
+	m.cfg.Seed = seed
+	m.lineage = false
+	for s, sh := range m.shards {
+		sh.k.Reset()
+		sh.pktID = 0
+		sh.rng.Reseed(shardSeed(seed, s))
+	}
+	for _, n := range m.nodes {
+		for _, ch := range n.out {
+			if ch != nil {
+				ch.Reset()
+			}
+		}
+		for i := range n.srams {
+			n.srams[i] = nil
+		}
+		for i := range n.fences {
+			n.fences[i] = nil
+		}
+	}
+	m.fenceAlloc = fence.Allocator{}
+}
+
+// requireSingleShard guards engines whose coordination state (shared
+// closures, a single rng, cross-node callbacks) has no sharded form yet.
+func (m *Machine) requireSingleShard(what string) {
+	if len(m.shards) > 1 {
+		panic(fmt.Sprintf("machine: %s requires a single-shard machine (Config.Shards = 1)", what))
+	}
+}
 
 // Channel returns the outbound channel slice on node c for spec cs
 // (diagnostics and traffic accounting); nil if the shape has no such
@@ -181,7 +365,9 @@ func (n *Node) sram(core packet.CoreID) *mem.SRAM {
 // slice. This is the full-machine analog of router credit occupancy: a
 // channel whose busy horizon runs far past now is a channel whose
 // downstream credits would be exhausted. Each node owns one instance per
-// slice, so handing a view to a routing decision allocates nothing.
+// slice, so handing a view to a routing decision allocates nothing. All
+// state read is owned by the node's shard, so the view is safe during
+// sharded windows.
 type nodeLoadView struct {
 	n     *Node
 	slice int
@@ -190,7 +376,7 @@ type nodeLoadView struct {
 // Load implements route.LoadView over the dense channel table.
 func (v *nodeLoadView) Load(dim topo.Dim, dir int) int64 {
 	cs := chip.ChannelSpec{Dim: dim, Dir: dir, Slice: v.slice}
-	backlog := v.n.out[cs.Index()].Busy() - v.n.m.K.Now()
+	backlog := v.n.out[cs.Index()].Busy() - v.n.sh.k.Now()
 	if backlog < 0 {
 		return 0
 	}

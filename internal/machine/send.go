@@ -32,6 +32,9 @@ func (m *Machine) sliceFor(p *packet.Packet) int {
 // choice, with a live load view — so adaptive policies react to congestion
 // as the packet encounters it. Response packets always follow the XYZ
 // mesh-restricted route on the response VC, outside the policy's reach.
+// Pre-routed packets (p.PreRouted) carry their Order and Tie already; the
+// machine draws nothing for them, which is how sharded harnesses keep the
+// rng stream independent of event execution order.
 //
 // The walk is iterative, not a chain of scheduled closures: the per-hop
 // state (current node, chosen channel, slice, tie-break) lives in the
@@ -39,27 +42,39 @@ func (m *Machine) sliceFor(p *packet.Packet) int {
 // interprets its WalkState — so a steady-state Send schedules, crosses and
 // delivers without a single heap allocation. Packets obtained from
 // NewPacket are recycled after delivery.
+//
+// On a sharded machine, Send must run inside an event of the shard owning
+// p.SrcNode (an injection actor scheduled via NodeKernel, or a delivery at
+// that node); every kernel interaction below is with that shard.
 func (m *Machine) Send(p *packet.Packet, done packet.Deliverer) {
-	p.ID = m.nextPktID()
-	p.Injected = m.K.Now()
+	sh := m.Node(p.SrcNode).sh
+	p.ID = sh.nextPktID()
+	p.Injected = sh.k.Now()
 	p.Walker = m
 	p.Done = done
+	if m.lineage {
+		// Extend, not reset: pooled packets arrive with an empty history
+		// (Pool.Put clears it), so an injected packet's chain starts here;
+		// a response built in apply carries its request's chain and this
+		// append adds the applying event — the response's true scheduler.
+		p.Hist = append(p.Hist, sh.k.Now())
+	}
 
 	if p.SrcNode == p.DstNode {
 		p.Cur = p.DstNode
 		p.In = -1
 		p.State = packet.WalkApply
-		m.K.AfterActor(m.Geom.OnChipLatency(p.SrcCore, p.DstCore), p)
+		sh.k.AfterActor(m.Geom.OnChipLatency(p.SrcCore, p.DstCore), p)
 		return
 	}
 
 	p.Slice = int8(m.sliceFor(p))
-	if p.Type.Class() != packet.Response {
-		p.Order = m.policy.Order(m.rng)
+	if p.Type.Class() != packet.Response && !p.PreRouted {
+		p.Order = m.policy.Order(sh.rng)
 		// Direction ties (even rings) balance across both physical links;
 		// position/force packets break ties by atom ID so their channel
 		// (and particle cache) stays stable step to step.
-		tie := m.rng.Intn(2) == 0
+		tie := sh.rng.Intn(2) == 0
 		if p.Type == packet.Position || p.Type == packet.Force {
 			tie = p.AtomID&2 != 0
 		}
@@ -75,7 +90,7 @@ func (m *Machine) Send(p *packet.Packet, done packet.Deliverer) {
 	p.Out = int8(out.Index())
 	p.In = -1
 	p.State = packet.WalkTransit
-	m.K.AfterActor(m.Geom.InjectLatency(p.SrcCore, out), p)
+	sh.k.AfterActor(m.Geom.InjectLatency(p.SrcCore, out), p)
 }
 
 // nextStep picks p's step out of node cur, or ok=false at the destination.
@@ -95,12 +110,17 @@ func (m *Machine) nextStep(p *packet.Packet, cur topo.Coord) (topo.Step, bool) {
 }
 
 // OnPacket advances an in-flight packet one walk step (packet.Walker); the
-// single reusable handler behind every packet timing event.
+// single reusable handler behind every packet timing event. It always
+// executes on the kernel of the shard owning p.Cur: channel crossings whose
+// far end is remote were merged into that shard at a window barrier.
 func (m *Machine) OnPacket(p *packet.Packet) {
+	node := m.Node(p.Cur)
+	if m.lineage {
+		p.Hist = append(p.Hist, node.sh.k.Now())
+	}
 	switch p.State {
 	case packet.WalkTransit:
 		// The inject/transit latency has elapsed: cross the chosen channel.
-		node := m.Node(p.Cur)
 		out := chip.ChannelSpecAt(int(p.Out))
 		p.Cur = m.cfg.Shape.Neighbor(p.Cur, out.Dim, out.Dir)
 		p.In = int8(out.Opposite().Index())
@@ -119,26 +139,24 @@ func (m *Machine) OnPacket(p *packet.Packet) {
 		st, ok := m.nextStep(p, p.Cur)
 		if !ok {
 			p.State = packet.WalkApply
-			m.K.AfterActor(m.Geom.EjectLatency(in, p.DstCore), p)
+			node.sh.k.AfterActor(m.Geom.EjectLatency(in, p.DstCore), p)
 			return
 		}
 		out := chip.ChannelSpec{Dim: st.Dim, Dir: st.Dir, Slice: int(p.Slice)}
 		p.Out = int8(out.Index())
 		p.State = packet.WalkTransit
-		m.K.AfterActor(m.Geom.TransitLatency(in, out), p)
+		node.sh.k.AfterActor(m.Geom.TransitLatency(in, out), p)
 
 	case packet.WalkApply:
-		node := m.Node(p.Cur)
 		m.apply(node, p)
 		if p.Done != nil {
 			p.Done.Deliver(p)
 		}
-		m.pool.Put(p)
+		node.sh.pool.Put(p)
 
 	case packet.WalkFenceMerge:
-		node := m.Node(p.Cur)
 		id, hops, in := p.FenceID, p.FenceHops, chip.ChannelSpecAt(int(p.In))
-		m.pool.Put(p)
+		node.sh.pool.Put(p)
 		node.fenceArrive(id, hops, in)
 
 	default:
@@ -155,12 +173,20 @@ func (m *Machine) apply(n *Node, p *packet.Packet) {
 		n.sram(p.DstCore).CountedAccum(p.Addr, p.Payload)
 	case packet.ReadReq:
 		data := n.sram(p.DstCore).ReadQuad(p.Addr)
-		resp := m.pool.Get()
+		resp := n.sh.pool.Get()
 		resp.Type = packet.ReadResp
 		resp.SrcNode, resp.DstNode = p.DstNode, p.SrcNode
 		resp.SrcCore, resp.DstCore = p.DstCore, p.SrcCore
 		resp.Addr = p.Addr
 		resp.SetQuad(data)
+		if m.lineage {
+			// The response continues the request's causal chain: copy it
+			// minus the current (applying) event, which Send re-appends as
+			// the response's parent. Inheriting Inj keeps the lineage
+			// tie-break total for response traffic too.
+			resp.Hist = append(resp.Hist[:0], p.Hist[:len(p.Hist)-1]...)
+			resp.Inj = p.Inj
+		}
 		m.Send(resp, nil)
 	case packet.ReadResp:
 		// Read responses land in the requester's SRAM as a counted write

@@ -1,0 +1,61 @@
+package machine
+
+import (
+	"testing"
+
+	"anton3/internal/topo"
+)
+
+// TestBarrierShardInvariant checks the fence engine on the sharded
+// executive: the barrier latency — a pure function of fence arrival times
+// — must not change with the shard count.
+func TestBarrierShardInvariant(t *testing.T) {
+	shape := topo.Shape{X: 4, Y: 4, Z: 4}
+	hopsList := []int{0, 2, shape.Diameter()}
+	for _, hops := range hopsList {
+		ref := New(DefaultConfig(shape)).Barrier(hops)
+		for _, shards := range []int{2, 3, 4} {
+			cfg := DefaultConfig(shape)
+			cfg.Shards = shards
+			got := New(cfg).Barrier(hops)
+			if got != ref {
+				t.Fatalf("hops %d: barrier %v at %d shards, want %v (1 shard)", hops, got, shards, ref)
+			}
+		}
+	}
+}
+
+// TestResetMatchesFresh checks machine reuse: after Reset, a machine must
+// reproduce a fresh machine's measurement exactly.
+func TestResetMatchesFresh(t *testing.T) {
+	shape := topo.Shape{X: 2, Y: 2, Z: 4}
+	cfg := DefaultConfig(shape)
+	m := New(cfg)
+	a, b := m.GC(topo.Coord{}, 0), m.GC(topo.Coord{X: 1, Y: 1, Z: 3}, 1)
+	first := m.PingPong(a, b, 8)
+	m.Reset(cfg.Seed)
+	a, b = m.GC(topo.Coord{}, 0), m.GC(topo.Coord{X: 1, Y: 1, Z: 3}, 1)
+	second := m.PingPong(a, b, 8)
+	if first != second {
+		t.Fatalf("ping-pong after Reset = %+v, want %+v", second, first)
+	}
+	fresh := New(cfg)
+	third := fresh.PingPong(fresh.GC(topo.Coord{}, 0), fresh.GC(topo.Coord{X: 1, Y: 1, Z: 3}, 1), 8)
+	if first != third {
+		t.Fatalf("fresh machine = %+v, reused machine = %+v", third, first)
+	}
+}
+
+// TestSingleShardEnginesGuarded checks that engines without a sharded form
+// refuse to run on a sharded machine instead of silently racing.
+func TestSingleShardEnginesGuarded(t *testing.T) {
+	cfg := DefaultConfig(topo.Shape{X: 2, Y: 2, Z: 2})
+	cfg.Shards = 2
+	m := New(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PingPong on a sharded machine did not panic")
+		}
+	}()
+	m.PingPong(m.GC(topo.Coord{}, 0), m.GC(topo.Coord{X: 1}, 0), 1)
+}

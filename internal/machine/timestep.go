@@ -87,6 +87,7 @@ type nodeStep struct {
 
 // NewEngine decomposes sys across m's shape.
 func NewEngine(m *Machine, sys *md.System, cfg TimestepConfig) *Engine {
+	m.requireSingleShard("the timestep engine")
 	return &Engine{
 		m:   m,
 		sys: sys,

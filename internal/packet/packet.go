@@ -197,8 +197,27 @@ type Packet struct {
 	Slice  int8
 	Tie    bool
 
+	// PreRouted marks a request packet whose Order and Tie were assigned
+	// by the caller before Send; the machine then skips its own rng draws.
+	// Harnesses that run on sharded machines pre-draw routing decisions in
+	// the sequential kernel's order so that results do not depend on the
+	// shard count.
+	PreRouted bool
+
+	// Hist and Inj are the packet's event lineage, maintained by the
+	// machine only on sharded runs: the fire times of every past event of
+	// this packet's walk (oldest first), and the global setup order of its
+	// injection event. Shard kernels in lineage mode use them to order
+	// same-timestamp events exactly as a sequential kernel would
+	// (sim.Lineaged).
+	Hist []sim.Time
+	Inj  uint64
+
 	pooled bool
 }
+
+// Lineage implements sim.Lineaged.
+func (p *Packet) Lineage() ([]sim.Time, uint64) { return p.Hist, p.Inj }
 
 // Act fires the packet's next walk step (sim.Actor).
 func (p *Packet) Act() { p.Walker.OnPacket(p) }
@@ -229,7 +248,8 @@ func (pl *Pool) Put(p *Packet) {
 	if p == nil || !p.pooled {
 		return
 	}
-	*p = Packet{pooled: true}
+	hist := p.Hist[:0]
+	*p = Packet{pooled: true, Hist: hist}
 	pl.free = append(pl.free, p)
 }
 

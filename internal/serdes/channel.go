@@ -39,6 +39,13 @@ type Channel struct {
 	cfg  ChannelConfig
 	comp *Compressor
 
+	// remote, when set, receives far-end arrivals instead of the local
+	// kernel: the far end of this channel lives on another shard of a
+	// sharded machine, and the arrival is merged into that shard's kernel
+	// at the next window barrier. The channel's FixedLatency is the
+	// lookahead that makes the deferral safe.
+	remote sim.Deferrer
+
 	// psPerBitNum/Den express picoseconds per payload bit as a ratio so
 	// no floating point enters timing: ps/bit = 1000 / (lanes*gbps) scaled
 	// by frame overhead 64/60.
@@ -73,6 +80,20 @@ func NewChannel(k *sim.Kernel, cfg ChannelConfig) *Channel {
 // Compressor exposes the channel's compression pipeline for statistics.
 func (ch *Channel) Compressor() *Compressor { return ch.comp }
 
+// SetRemote routes far-end arrivals through d instead of the local kernel
+// (cross-shard channels of a sharded machine). Only the closure-free
+// SendPacket path supports remote delivery.
+func (ch *Channel) SetRemote(d sim.Deferrer) { ch.remote = d }
+
+// Reset returns the channel to its just-built state — serialization
+// horizon, utilization accounting and compression pipeline — so a reused
+// machine's channels start a fresh run with no history.
+func (ch *Channel) Reset() {
+	ch.busy, ch.busyTime, ch.lastIdle = 0, 0, 0
+	ch.carried = 0
+	ch.comp.Reset()
+}
+
 // SerializeTime returns the time to put bits on the lanes, including frame
 // overhead derating.
 func (ch *Channel) SerializeTime(bits int) sim.Time {
@@ -99,6 +120,9 @@ func (ch *Channel) Carried() uint64 { return ch.carried }
 // latency. Delivery order always matches send order — the in-order property
 // the network fence builds on.
 func (ch *Channel) Send(p *packet.Packet, deliver func(*packet.Packet)) sim.Time {
+	if ch.remote != nil {
+		panic("serdes: closure Send on a cross-shard channel; use SendPacket")
+	}
 	out, arrival := ch.transmit(p)
 	if deliver != nil {
 		ch.k.At(arrival, func() { deliver(out) })
@@ -111,7 +135,11 @@ func (ch *Channel) Send(p *packet.Packet, deliver func(*packet.Packet)) sim.Time
 // the far end. Timing and accounting are identical to Send.
 func (ch *Channel) SendPacket(p *packet.Packet) sim.Time {
 	out, arrival := ch.transmit(p)
-	ch.k.AtActor(arrival, out)
+	if ch.remote != nil {
+		ch.remote.Defer(arrival, out)
+	} else {
+		ch.k.AtActor(arrival, out)
+	}
 	return arrival
 }
 

@@ -88,21 +88,36 @@ type Compressor struct {
 	stats Stats
 }
 
+// pcacheConfig resolves the effective particle cache sizing: the zero
+// value means pcache.DefaultConfig. NewCompressor and Reset must agree on
+// this, or a reset channel would rebuild a differently-sized cache.
+func (c CompressConfig) pcacheConfig() pcache.Config {
+	if c.PcacheConfig == (pcache.Config{}) {
+		return pcache.DefaultConfig
+	}
+	return c.PcacheConfig
+}
+
 // NewCompressor builds the pipeline for one channel direction.
 func NewCompressor(cfg CompressConfig) *Compressor {
 	c := &Compressor{cfg: cfg}
 	if cfg.Pcache {
-		pc := cfg.PcacheConfig
-		if pc == (pcache.Config{}) {
-			pc = pcache.DefaultConfig
-		}
-		c.pair = pcache.NewPair(pc)
+		c.pair = pcache.NewPair(cfg.pcacheConfig())
 	}
 	return c
 }
 
 // Stats returns a copy of the traffic counters.
 func (c *Compressor) Stats() Stats { return c.stats }
+
+// Reset clears the traffic counters and rebuilds the particle cache pair,
+// returning the pipeline to its just-constructed state for machine reuse.
+func (c *Compressor) Reset() {
+	c.stats = Stats{}
+	if c.pair != nil {
+		c.pair = pcache.NewPair(c.cfg.pcacheConfig())
+	}
+}
 
 // CacheStats returns particle cache outcome counters (zero Stats when the
 // cache is disabled).

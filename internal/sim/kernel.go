@@ -39,6 +39,11 @@ type Kernel struct {
 	free    []int32 // recycled pool slots
 	stopped bool
 	fired   uint64
+	lastAt  Time // timestamp of the last executed event (unlike now, never forced forward by RunUntil)
+
+	// Lineage tie ordering (sharded execution; see BeginLineageOrder).
+	lineage  bool
+	setupSeq uint64 // highest seq scheduled before BeginLineageOrder
 }
 
 // NewKernel returns a kernel with the clock at time zero.
@@ -60,8 +65,102 @@ func (k *Kernel) before(a, b int32) bool {
 	if ea.at != eb.at {
 		return ea.at < eb.at
 	}
+	if k.lineage {
+		return k.lineageBefore(ea, eb)
+	}
 	return ea.seq < eb.seq
 }
+
+// Lineaged is implemented by actors that carry their own event-history
+// rank: the fire times of every past event of their causal chain (oldest
+// first) plus a globally unique injection order. Kernels in lineage mode
+// use it to break same-timestamp ties exactly as a single sequential
+// kernel's schedule order would (see BeginLineageOrder).
+type Lineaged interface {
+	Actor
+	// Lineage returns the chain of past fire times (oldest first) and the
+	// setup order of the chain's injection event.
+	Lineage() (hist []Time, inj uint64)
+}
+
+// lineageBefore orders two same-timestamp events the way the equivalent
+// sequential kernel would. In a sequential kernel, same-time events fire
+// in schedule order, and an event's schedule position is its scheduler's
+// execution position — recursively, until the chains reach setup-scheduled
+// events, which all precede every runtime-scheduled event and order among
+// themselves by setup sequence. Comparing the actors' fire-time histories
+// newest-first implements exactly that recursion, so the order of any two
+// events is a function of event content alone — independent of which shard
+// kernel hosts them, in what order cross-shard merges inserted them, and
+// of the shard count itself.
+func (k *Kernel) lineageBefore(ea, eb *event) bool {
+	sa, sb := ea.seq <= k.setupSeq, eb.seq <= k.setupSeq
+	if sa || sb {
+		if sa != sb {
+			// Setup events were all scheduled before any runtime event.
+			return sa
+		}
+		// Both setup: local schedule order is the global setup order
+		// restricted to this shard, which preserves relative order.
+		return ea.seq < eb.seq
+	}
+	la, okA := ea.actor.(Lineaged)
+	lb, okB := eb.actor.(Lineaged)
+	if !okA || !okB {
+		// Closures or unranked actors at runtime: schedule order is the
+		// best available (deterministic, but only sequential-equivalent
+		// for Lineaged chains).
+		return ea.seq < eb.seq
+	}
+	ha, ia := la.Lineage()
+	hb, ib := lb.Lineage()
+	da, db := len(ha)-1, len(hb)-1
+	for da >= 0 && db >= 0 {
+		if ha[da] != hb[db] {
+			return ha[da] < hb[db]
+		}
+		da--
+		db--
+	}
+	if (da < 0) != (db < 0) {
+		// The exhausted chain's next ancestor is its setup-scheduled
+		// injection event, which precedes the other chain's runtime
+		// ancestor at the same (tied) fire time.
+		return da < 0
+	}
+	return ia < ib
+}
+
+// BeginLineageOrder switches the kernel to lineage tie ordering: events at
+// equal timestamps compare by their actors' Lineage instead of schedule
+// sequence. Call it after all setup events have been scheduled and before
+// running; events already queued are treated as setup events. Sharded
+// executions (ParallelExec) use this to make results independent of the
+// shard count, not merely of goroutine interleaving.
+func (k *Kernel) BeginLineageOrder() {
+	k.lineage = true
+	k.setupSeq = k.seq
+}
+
+// Reset returns the kernel to its just-constructed state while retaining
+// the event pool's capacity, so a reused kernel schedules without heap
+// allocations from the first event. It must not be called while Run is
+// executing.
+func (k *Kernel) Reset() {
+	k.now, k.seq, k.rootAt, k.lastAt = 0, 0, 0, 0
+	k.heap = k.heap[:0]
+	k.pool = k.pool[:0]
+	k.free = k.free[:0]
+	k.stopped = false
+	k.fired = 0
+	k.lineage = false
+	k.setupSeq = 0
+}
+
+// LastFired reports the timestamp of the most recently executed event.
+// Unlike Now, it is never advanced by a RunUntil deadline, so after a
+// windowed run it is the drain time a sequential Run would have returned.
+func (k *Kernel) LastFired() Time { return k.lastAt }
 
 func (k *Kernel) siftUp(i int) {
 	h := k.heap
@@ -174,6 +273,7 @@ func (k *Kernel) step() {
 		k.rootAt = k.pool[k.heap[0]].at
 	}
 	k.now = e.at
+	k.lastAt = e.at
 	k.fired++
 	if e.fn != nil {
 		e.fn()

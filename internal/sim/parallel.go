@@ -1,0 +1,174 @@
+package sim
+
+import "sync"
+
+// Deferrer accepts an event whose target lives on another shard's kernel:
+// instead of scheduling immediately, the event is buffered and scheduled
+// at the next window barrier. serdes channels whose far end belongs to a
+// different shard send through a Deferrer.
+type Deferrer interface {
+	Defer(at Time, a Actor)
+}
+
+// deferred is one buffered cross-shard event.
+type deferred struct {
+	at    Time
+	actor Actor
+}
+
+// Outbox buffers the cross-shard events one source shard emits toward one
+// destination shard during a window. It has exactly one writer (the source
+// shard's goroutine, during the window) and one reader (the barrier, after
+// the window), so it needs no locking.
+type Outbox struct {
+	entries []deferred
+}
+
+// Defer implements Deferrer.
+func (o *Outbox) Defer(at Time, a Actor) {
+	o.entries = append(o.entries, deferred{at: at, actor: a})
+}
+
+// ParallelExec runs a group of shard kernels as one logical simulation
+// using classic conservative (Chandy–Misra style) lookahead. Every event
+// that crosses from one shard to another is guaranteed to arrive at least
+// `lookahead` picoseconds after it was emitted — in this repository the
+// guarantee comes from the serdes channel's FixedLatency floor, which every
+// inter-node packet pays. That lets all shards execute the window
+// [T, T+lookahead) independently: no event generated inside the window can
+// land inside it on another shard.
+//
+// The loop is:
+//
+//  1. T = earliest pending event across all kernels; stop if none.
+//  2. All shards run their own events with timestamps in [T, T+lookahead)
+//     concurrently, appending cross-shard emissions to per-(src,dst)
+//     outboxes.
+//  3. Barrier: each destination kernel absorbs its inbound outboxes in a
+//     deterministic order — (arrival time, source shard, source emission
+//     order) — so the merged schedule sequence never depends on goroutine
+//     interleaving.
+//
+// Determinism: for a fixed shard count, results are exactly reproducible
+// (each kernel is sequential within a window and merges are canonically
+// ordered). For results that are additionally *independent of the shard
+// count*, same-timestamp execution order must also match the sequential
+// kernel's — that is what Kernel.BeginLineageOrder provides for workloads
+// whose runtime events are Lineaged actors.
+//
+// Stop is not supported on kernels driven by a ParallelExec; Run executes
+// until every kernel drains.
+type ParallelExec struct {
+	ks      []*Kernel
+	look    Time
+	out     [][]Outbox // [src][dst]
+	scratch []deferred // merge buffer, reused across barriers
+}
+
+// NewParallelExec builds an executive over the given shard kernels.
+// lookahead is the minimum cross-shard event latency; it must be positive,
+// and every Defer must honor it or Run panics scheduling into the past.
+func NewParallelExec(ks []*Kernel, lookahead Time) *ParallelExec {
+	if len(ks) == 0 {
+		panic("sim: ParallelExec needs at least one kernel")
+	}
+	if lookahead < 1 {
+		panic("sim: ParallelExec lookahead must be positive")
+	}
+	out := make([][]Outbox, len(ks))
+	for i := range out {
+		out[i] = make([]Outbox, len(ks))
+	}
+	return &ParallelExec{ks: ks, look: lookahead, out: out}
+}
+
+// Outbox returns the buffer for events shard src emits toward shard dst.
+// Wiring code (the machine) hands it to every cross-shard channel.
+func (x *ParallelExec) Outbox(src, dst int) *Outbox { return &x.out[src][dst] }
+
+// Lookahead reports the configured window length.
+func (x *ParallelExec) Lookahead() Time { return x.look }
+
+// BeginLineageOrder switches every shard kernel to lineage tie ordering
+// (see Kernel.BeginLineageOrder). Call after setup scheduling, before Run.
+func (x *ParallelExec) BeginLineageOrder() {
+	for _, k := range x.ks {
+		k.BeginLineageOrder()
+	}
+}
+
+// Run executes windows until every kernel drains and every outbox is
+// empty, and returns the timestamp of the last executed event across all
+// shards — the value a sequential Kernel.Run over the same event set would
+// have returned.
+func (x *ParallelExec) Run() Time {
+	var wg sync.WaitGroup
+	for {
+		T, have := Time(0), false
+		for _, k := range x.ks {
+			if k.Pending() > 0 && (!have || k.rootAt < T) {
+				T, have = k.rootAt, true
+			}
+		}
+		if !have {
+			break
+		}
+		deadline := T + x.look - 1
+		if len(x.ks) == 1 {
+			x.ks[0].RunUntil(deadline)
+		} else {
+			for _, k := range x.ks {
+				wg.Add(1)
+				go func(k *Kernel) {
+					defer wg.Done()
+					k.RunUntil(deadline)
+				}(k)
+			}
+			wg.Wait()
+		}
+		x.merge()
+	}
+	var last Time
+	for _, k := range x.ks {
+		if k.lastAt > last {
+			last = k.lastAt
+		}
+	}
+	return last
+}
+
+// merge drains every outbox into its destination kernel. Entries for one
+// destination are concatenated in source-shard order (which preserves each
+// source's emission order) and then stable-sorted by arrival time, so the
+// destination's schedule sequence is exactly (arrival time, source shard,
+// source emission order) no matter how the window's goroutines interleaved.
+func (x *ParallelExec) merge() {
+	for d := range x.ks {
+		s := x.scratch[:0]
+		for src := range x.ks {
+			ob := &x.out[src][d]
+			s = append(s, ob.entries...)
+			ob.entries = ob.entries[:0]
+		}
+		if len(s) == 0 {
+			continue
+		}
+		// Stable insertion sort by arrival time: batches are small and
+		// nearly sorted, and sorting in place keeps the barrier
+		// allocation-free in steady state.
+		for i := 1; i < len(s); i++ {
+			e := s[i]
+			j := i - 1
+			for j >= 0 && s[j].at > e.at {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = e
+		}
+		k := x.ks[d]
+		for _, e := range s {
+			k.AtActor(e.at, e.actor)
+		}
+		x.scratch = s[:0]
+	}
+}

@@ -13,6 +13,15 @@ type Rand struct {
 // NewRand returns a generator seeded from seed via splitmix64 so that nearby
 // integer seeds yield well-separated streams.
 func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r to the stream NewRand(seed) would produce, in place —
+// reusable components (a reset machine, a harness's per-node generator)
+// reseed instead of allocating a fresh Rand.
+func (r *Rand) Reseed(seed uint64) {
 	z := seed + 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -20,7 +29,7 @@ func NewRand(seed uint64) *Rand {
 	if z == 0 {
 		z = 0x9e3779b97f4a7c15
 	}
-	return &Rand{state: z}
+	r.state = z
 }
 
 // Uint64 returns the next 64 random bits.

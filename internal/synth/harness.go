@@ -3,6 +3,8 @@ package synth
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"slices"
 	"sort"
 	"strings"
 
@@ -37,6 +39,11 @@ type RunConfig struct {
 	Packets int
 	Warmup  int
 	Seed    uint64
+	// Shards runs the machine sharded across that many kernels (see
+	// machine.Config.Shards); 0 or 1 is the classic sequential run. The
+	// harness pre-routes every packet and runs shard kernels in lineage
+	// order, so output is byte-identical at every shard count.
+	Shards int
 }
 
 // Point is the measured outcome at one offered load.
@@ -53,110 +60,255 @@ type Point struct {
 	TailNs float64 `json:"tail_ns"`
 }
 
-// runState is the measurement sink of one Run: it implements
-// packet.Deliverer, so the harness's steady-state inner loop — take a
-// pooled packet, inject, walk the network, record the latency at delivery —
-// allocates nothing. The latency buffer is pre-sized to the exact delivered
-// packet count.
-type runState struct {
-	m      *machine.Machine
-	shape  topo.Shape
-	total  int // packets per node including warmup
+// Harness runs timed network-only measurements on one long-lived machine:
+// one (shape, policy, shard count) triple serves any number of
+// (pattern, load, seed) points via RunPoint. Reusing the machine is what
+// makes a sweep allocation-free in steady state — the kernel event pools,
+// packet free lists, injection schedule and latency buffers all persist
+// across load points — and a reset machine is byte-identical to a fresh
+// one, so reuse never changes a digit of output.
+type Harness struct {
+	m     *machine.Machine
+	shape topo.Shape
+	core  packet.CoreID // GC 0, the endpoint every packet uses
+	base  sim.Time      // serialization time of RefPacketBits (load unit)
+
+	total  int // packets per node including warmup, for the current point
 	warmup int
-	lats   []float64
-	hops   int64
+
+	// Per-injection schedule, flat-indexed by node*total+k. orders holds
+	// the machine's pre-drawn routing decisions (see RunPoint).
+	times  []sim.Time
+	dsts   []int32
+	orders []topo.DimOrder
+	keys   []uint64
+	injs   []injector
+
+	// Per-shard measurement state: deliveries happen on the destination
+	// node's shard, so each shard appends to its own buffers and the
+	// point statistics reduce them afterwards.
+	sinks []sink
+	lats  [][]float64
+	hops  []int64
+	all   []float64 // merged latencies, reused across points
+
+	prng sim.Rand // per-node schedule generator, reseeded per node
 }
 
-// inject builds one traffic packet from the machine's pool and sends it.
-// atom encodes (node, k) as node*total+k, which keeps the historical
-// slice/tie affinity bits and lets Deliver recover whether the packet
-// belongs to the measured window.
-func (rs *runState) inject(src, dst topo.Coord, srcCore, dstCore packet.CoreID, atom uint32) {
-	p := rs.m.NewPacket()
+// NewHarness builds the measurement machine: compression off (network-only
+// timing), the given routing policy, sharded across the given kernel
+// count (0 or 1 = sequential).
+func NewHarness(shape topo.Shape, policy route.Policy, shards int) *Harness {
+	mcfg := machine.DefaultConfig(shape)
+	mcfg.Compress = serdes.CompressConfig{} // raw wire timing
+	mcfg.Policy = policy
+	mcfg.Shards = shards
+	m := machine.New(mcfg)
+	refCh := m.Node(shape.CoordOf(0)).ChannelSpecs()[0]
+	h := &Harness{
+		m:     m,
+		shape: shape,
+		core:  m.GC(shape.CoordOf(0), 0).ID,
+		base:  m.Node(shape.CoordOf(0)).Channel(refCh).SerializeTime(RefPacketBits),
+	}
+	P := m.NumShards()
+	h.sinks = make([]sink, P)
+	h.lats = make([][]float64, P)
+	h.hops = make([]int64, P)
+	for s := range h.sinks {
+		h.sinks[s] = sink{h: h, shard: int32(s)}
+	}
+	return h
+}
+
+// injector fires one scheduled injection: a setup-scheduled sim.Actor, so
+// the steady-state schedule carries no closures and the injection events
+// keep the setup sequence order the sequential kernel has always used.
+type injector struct {
+	h    *Harness
+	flat int32
+}
+
+// Act builds the pre-routed packet for this injection slot and sends it.
+func (ij *injector) Act() {
+	h := ij.h
+	flat := int(ij.flat)
+	src := h.shape.CoordOf(flat / h.total)
+	dst := h.shape.CoordOf(int(h.dsts[flat]))
+	p := h.m.NewPacketAt(src)
+	atom := uint32(flat)
 	p.Type = packet.Position
 	p.SrcNode, p.DstNode = src, dst
-	p.SrcCore, p.DstCore = srcCore, dstCore
+	p.SrcCore, p.DstCore = h.core, h.core
 	p.AtomID = atom
 	p.SetQuad([4]uint32{atom, 0xfeed, 0xbeef, 0xcafe})
-	rs.m.Send(p, rs)
+	p.PreRouted = true
+	p.Order = h.orders[flat]
+	// Position packets break the even-ring direction tie by atom ID; the
+	// machine's tie draw was still consumed by DrawRoute, exactly as Send
+	// consumes it before overriding.
+	p.Tie = atom&2 != 0
+	p.Inj = uint64(flat)
+	h.m.Send(p, &h.sinks[h.m.ShardOf(dst)])
 }
 
-// Deliver records one delivered packet (packet.Deliverer).
-func (rs *runState) Deliver(p *packet.Packet) {
-	if int(p.AtomID)%rs.total < rs.warmup {
+// sink records deliveries landing on one shard (packet.Deliverer).
+type sink struct {
+	h     *Harness
+	shard int32
+}
+
+// Deliver records one delivered packet.
+func (s *sink) Deliver(p *packet.Packet) {
+	h := s.h
+	if int(p.AtomID)%h.total < h.warmup {
 		return
 	}
-	rs.lats = append(rs.lats, (rs.m.K.Now() - p.Injected).Nanoseconds())
-	rs.hops += int64(rs.shape.HopDist(p.SrcNode, p.DstNode))
+	h.lats[s.shard] = append(h.lats[s.shard], (h.m.NodeKernel(p.DstNode).Now() - p.Injected).Nanoseconds())
+	h.hops[s.shard] += int64(h.shape.HopDist(p.SrcNode, p.DstNode))
 }
 
-// Run injects Pattern traffic at the configured load on a private machine
-// and returns the latency statistics of the measured window. The machine
-// runs with compression off (network-only timing) and the kernel drains
-// completely, so queueing delay past saturation is fully charged to the
-// packets that incurred it. Every random choice derives from cfg.Seed, so
-// results are byte-stable across hosts and worker counts.
-func Run(cfg RunConfig) Point {
-	if cfg.Load <= 0 || cfg.Packets <= 0 {
+// grow resizes a slice to n elements, reusing capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// RunPoint injects Pattern traffic at one offered load and returns the
+// latency statistics of the measured window. The machine is reset to the
+// given seed, runs with the kernel draining completely (queueing delay
+// past saturation is fully charged to the packets that incurred it), and
+// every random choice derives from seed alone — so results are byte-stable
+// across hosts, worker counts, machine reuse, and shard counts.
+//
+// Routing randomness is pre-drawn at setup: injection events fire in
+// (time, schedule-sequence) order, schedule sequence is node-major, so a
+// stable sort of the schedule by time reproduces the exact order in which
+// a sequential run's Sends would have consumed the machine rng. Each
+// packet then carries its decisions (packet.PreRouted), which is what
+// detaches the rng stream — and with lineage ordering, all of the output —
+// from shard execution order.
+func (h *Harness) RunPoint(pat Pattern, load float64, packets, warmup int, seed uint64) Point {
+	if load <= 0 || packets <= 0 {
 		panic("synth: load and packet count must be positive")
 	}
-	mcfg := machine.DefaultConfig(cfg.Shape)
-	mcfg.Compress = serdes.CompressConfig{} // raw wire timing
-	mcfg.Policy = cfg.Policy
-	mcfg.Seed = cfg.Seed
-	m := machine.New(mcfg)
-
-	nodes := cfg.Shape.Nodes()
-	refCh := m.Node(cfg.Shape.CoordOf(0)).ChannelSpecs()[0]
-	base := m.Node(cfg.Shape.CoordOf(0)).Channel(refCh).SerializeTime(RefPacketBits)
-	meanGap := float64(base) / cfg.Load
-
-	total := cfg.Warmup + cfg.Packets
-	rs := &runState{
-		m: m, shape: cfg.Shape, total: total, warmup: cfg.Warmup,
-		lats: make([]float64, 0, nodes*cfg.Packets),
+	h.m.Reset(seed)
+	h.total = warmup + packets
+	h.warmup = warmup
+	nodes := h.shape.Nodes()
+	total := h.total
+	flatN := nodes * total
+	h.times = grow(h.times, flatN)
+	h.dsts = grow(h.dsts, flatN)
+	h.orders = grow(h.orders, flatN)
+	h.keys = grow(h.keys, flatN)
+	if cap(h.injs) < flatN {
+		h.injs = make([]injector, flatN)
 	}
+	h.injs = h.injs[:flatN]
+	for s := range h.lats {
+		h.lats[s] = h.lats[s][:0]
+		h.hops[s] = 0
+	}
+
+	// Poisson schedule and destinations, drawn per node exactly as the
+	// sequential harness always has: alternating gap and destination
+	// draws from the node's private stream.
+	meanGap := float64(h.base) / load
+	rng := &h.prng
 	var injectEnd sim.Time
 	for i := 0; i < nodes; i++ {
-		src := cfg.Shape.CoordOf(i)
-		srcGC := m.GC(src, 0)
-		rng := sim.NewRand(cfg.Seed ^ uint64(i+1)*0x9e3779b97f4a7c15)
-		t := m.K.Now()
+		src := h.shape.CoordOf(i)
+		rng.Reseed(seed ^ uint64(i+1)*0x9e3779b97f4a7c15)
+		var t sim.Time
 		for k := 0; k < total; k++ {
-			// Poisson arrivals: exponential inter-injection gaps.
 			gap := sim.Time(meanGap * -math.Log(1-rng.Float64()))
 			if gap < 1 {
 				gap = 1
 			}
 			t += gap
-			dst := cfg.Pattern.Dest(cfg.Shape, src, rng)
-			dstGC := m.GC(dst, 0)
-			atom := uint32(i*total + k)
-			srcID, dstID := srcGC.ID, dstGC.ID
-			m.K.At(t, func() { rs.inject(src, dst, srcID, dstID, atom) })
+			flat := i*total + k
+			h.times[flat] = t
+			h.dsts[flat] = int32(h.shape.Index(pat.Dest(h.shape, src, rng)))
 		}
 		if t > injectEnd {
 			injectEnd = t
 		}
 	}
-	drainEnd := m.K.Run()
 
-	if len(rs.lats) != nodes*cfg.Packets {
-		panic(fmt.Sprintf("synth: delivered %d of %d measured packets", len(rs.lats), nodes*cfg.Packets))
+	// Pre-draw the routing decisions in sequential injection-firing
+	// order: stable sort by time over the node-major flat index — the
+	// kernel's (at, seq) order for these setup-scheduled events.
+	shift := uint(bits.Len(uint(flatN - 1)))
+	for flat := range h.keys {
+		t := uint64(h.times[flat])
+		if t >= 1<<(63-shift) {
+			panic("synth: injection time overflows the sort key")
+		}
+		h.keys[flat] = t<<shift | uint64(flat)
 	}
-	lats := rs.lats
+	slices.Sort(h.keys)
+	mask := uint64(1)<<shift - 1
+	for _, key := range h.keys {
+		flat := key & mask
+		// Same-node packets never reach Send's draw (it returns at the
+		// on-chip shortcut first), so they must not consume the stream
+		// here either.
+		if int(h.dsts[flat]) == int(flat)/total {
+			continue
+		}
+		// The tie draw is discarded — Position packets derive theirs from
+		// the atom ID — but DrawRoute still consumed it from the stream,
+		// exactly as Send would have.
+		h.orders[flat], _ = h.m.DrawRoute()
+	}
+
+	// Schedule the injections in node-major (setup sequence) order, each
+	// on the kernel of the shard owning its source node.
+	for i := 0; i < nodes; i++ {
+		kern := h.m.NodeKernel(h.shape.CoordOf(i))
+		for k := 0; k < total; k++ {
+			flat := i*total + k
+			h.injs[flat] = injector{h: h, flat: int32(flat)}
+			kern.AtActor(h.times[flat], &h.injs[flat])
+		}
+	}
+
+	h.m.BeginLineageRun()
+	drainEnd := h.m.Run()
+
+	h.all = h.all[:0]
+	var hopSum int64
+	for s := range h.lats {
+		h.all = append(h.all, h.lats[s]...)
+		hopSum += h.hops[s]
+	}
+	if len(h.all) != nodes*packets {
+		panic(fmt.Sprintf("synth: delivered %d of %d measured packets", len(h.all), nodes*packets))
+	}
+	lats := h.all
 	sort.Float64s(lats)
 	var sum float64
 	for _, l := range lats {
 		sum += l
 	}
 	return Point{
-		Load:    cfg.Load,
+		Load:    load,
 		AvgNs:   sum / float64(len(lats)),
 		P99Ns:   lats[len(lats)*99/100],
-		AvgHops: float64(rs.hops) / float64(len(lats)),
+		AvgHops: float64(hopSum) / float64(len(lats)),
 		TailNs:  (drainEnd - injectEnd).Nanoseconds(),
 	}
+}
+
+// Run injects Pattern traffic at the configured load on a private machine
+// and returns the latency statistics of the measured window (one-shot
+// form of a Harness point; sweeps reuse a Harness instead).
+func Run(cfg RunConfig) Point {
+	h := NewHarness(cfg.Shape, cfg.Policy, cfg.Shards)
+	return h.RunPoint(cfg.Pattern, cfg.Load, cfg.Packets, cfg.Warmup, cfg.Seed)
 }
 
 // Curve is one policy's load/latency curve under one pattern.
@@ -166,19 +318,21 @@ type Curve struct {
 }
 
 // SweepPattern measures one pattern across every policy and offered load
-// on the given shape. Each (policy, load) cell runs on a private machine
-// with a seed derived from cell position only, so the sweep decomposes
-// freely across runner workers without changing a digit.
-func SweepPattern(shape topo.Shape, policies []route.Policy, pat Pattern, loads []float64, packets, warmup int, seed uint64) []Curve {
+// on the given shape, sharding each machine across the given kernel count.
+// Each (policy, load) cell runs with a seed derived from cell position
+// only, so the sweep decomposes freely across runner workers without
+// changing a digit; cells of one policy share one machine (reset between
+// loads), which keeps the sweep's steady state allocation-free.
+func SweepPattern(shape topo.Shape, policies []route.Policy, pat Pattern, loads []float64, packets, warmup int, seed uint64, shards int) []Curve {
 	curves := make([]Curve, len(policies))
 	for pi, pol := range policies {
 		c := Curve{Policy: pol.Name()}
+		h := NewHarness(shape, pol, shards)
 		for li, load := range loads {
-			c.Points = append(c.Points, Run(RunConfig{
-				Shape: shape, Policy: pol, Pattern: pat,
-				Load: load, Packets: packets, Warmup: warmup,
-				Seed: seed + uint64(pi)*1009 + uint64(li)*9176,
-			}))
+			c.Points = append(c.Points, h.RunPoint(
+				pat, load, packets, warmup,
+				seed+uint64(pi)*1009+uint64(li)*9176,
+			))
 		}
 		curves[pi] = c
 	}
@@ -194,12 +348,12 @@ type SweepResult struct {
 }
 
 // Sweep runs SweepPattern and packages the result for reports.
-func Sweep(shape topo.Shape, policies []route.Policy, pat Pattern, loads []float64, packets, warmup int, seed uint64) SweepResult {
+func Sweep(shape topo.Shape, policies []route.Policy, pat Pattern, loads []float64, packets, warmup int, seed uint64, shards int) SweepResult {
 	return SweepResult{
 		Shape:   shape.String(),
 		Nodes:   shape.Nodes(),
 		Pattern: pat.Name,
-		Curves:  SweepPattern(shape, policies, pat, loads, packets, warmup, seed),
+		Curves:  SweepPattern(shape, policies, pat, loads, packets, warmup, seed, shards),
 	}
 }
 

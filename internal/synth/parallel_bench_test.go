@@ -1,0 +1,31 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+
+	"anton3/internal/route"
+	"anton3/internal/topo"
+)
+
+// BenchmarkNetsweepShards measures the conservative-lookahead parallel
+// executive's wall-clock scaling: one 512-node netsweep point (uniform
+// traffic, random policy, load 3) run at 1, 2 and 4 kernel shards.
+// Output is byte-identical across the sub-benchmarks (the shard-count
+// invariance tests pin that); only the wall clock moves. The CI bench
+// lane commits the results as BENCH_parallel.json, where the shards=1 to
+// shards=4 ns/op ratio is the multicore speedup of simulating one machine.
+func BenchmarkNetsweepShards(b *testing.B) {
+	shape := topo.Shape{X: 8, Y: 8, Z: 8}
+	pat := Uniform()
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			h := NewHarness(shape, route.Random(), shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = h.RunPoint(pat, 3, 48, 16, 7)
+			}
+		})
+	}
+}

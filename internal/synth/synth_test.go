@@ -116,7 +116,7 @@ func TestLatencyRisesTowardSaturation(t *testing.T) {
 
 func TestSweepShapesAndRender(t *testing.T) {
 	pols := []route.Policy{route.Random(), route.XYZ(), route.MinimalAdaptive()}
-	res := Sweep(testShape, pols, Tornado(), []float64{0.5, 1}, 8, 2, 11)
+	res := Sweep(testShape, pols, Tornado(), []float64{0.5, 1}, 8, 2, 11, 1)
 	if len(res.Curves) != 3 {
 		t.Fatalf("want 3 curves, got %d", len(res.Curves))
 	}
