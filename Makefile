@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short alloc-gate bench bench-parallel lint ci
+.PHONY: build test test-short alloc-gate bench bench-parallel bench-saturate lint ci
 
 build:
 	$(GO) build ./...
@@ -12,26 +12,33 @@ test:
 	$(GO) test ./...
 
 # The CI fast lane: reduced-size (not skipped) tests under the race
-# detector, the allocation gate, plus the netsweep CLI smoke.
+# detector, the allocation gate, plus the netsweep and saturate CLI
+# smokes (the saturate smoke also diffs sharded vs sequential output).
 test-short:
 	$(GO) test -short -race ./...
 	$(MAKE) alloc-gate
 	$(GO) run ./cmd/anton3 netsweep -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q > /dev/null
+	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q > /tmp/anton3-sat-seq.txt
+	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q -shards 2 > /tmp/anton3-sat-sh2.txt
+	diff /tmp/anton3-sat-seq.txt /tmp/anton3-sat-sh2.txt
 
 # The allocation gate: testing.AllocsPerRun regression tests pinning the
-# steady-state machine.Send (request and response classes) and the synth
-# harness inner loop at 0 allocs/op. Run without -race: the detector's
-# instrumentation allocates, so the tests skip themselves there.
+# steady-state machine.Send (request and response classes), the synth
+# harness inner loop and the closed-loop saturate point at 0 allocs/op.
+# Run without -race: the detector's instrumentation allocates, so the
+# tests skip themselves there.
 alloc-gate:
-	$(GO) test -run 'AllocFree' -count=1 ./internal/machine ./internal/synth
+	$(GO) test -run 'AllocFree' -count=1 ./internal/machine ./internal/synth ./internal/flow
 
 # The CI bench lane: every paper artifact once, the hot-path micro-bench
 # report (BENCH_hotpath.json: ns/op + allocs/op per PR), the shard-scaling
-# report, then a full parallel `all` run refreshing BENCH_runner.json.
+# report, the saturation report, then a full parallel `all` run refreshing
+# BENCH_runner.json.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
 	$(GO) test -run '^$$' -bench 'SendHotPath|SendResponseHotPath|Netsweep$$' -benchmem -count=1 ./internal/machine ./internal/synth | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
 	$(MAKE) bench-parallel
+	$(MAKE) bench-saturate
 	$(GO) run ./cmd/anton3 all -json BENCH_runner.json > /dev/null
 
 # The shard-scaling report: one 512-node netsweep point simulated at
@@ -41,6 +48,15 @@ bench:
 # why CI's bench lane auto-commits the refreshed copy.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'NetsweepShards' -benchmem -count=1 -timeout 1800s ./internal/synth | $(GO) run ./cmd/benchjson > BENCH_parallel.json
+
+# The saturation report: one closed-loop cell timing plus the per-policy
+# saturation knees on the adversarial bit-complement pattern (reported as
+# the knee_load custom metric, captured into the artifact's "extra" map).
+# The knee SPREAD across policies is the head-of-line-blocking evidence
+# the per-VC queue model exists to expose; it is committed per PR so the
+# routing story is tracked over time like the perf numbers.
+bench-saturate:
+	$(GO) test -run '^$$' -bench 'SaturatePoint|SaturationKnee' -benchtime=1x -benchmem -count=1 -timeout 1800s ./internal/flow | $(GO) run ./cmd/benchjson > BENCH_saturation.json
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	anton3 <tables|fig5|fig6|fig9a|fig9b|fig11|fig12|ablations|netsweep|all> [flags]
+//	anton3 <tables|fig5|fig6|fig9a|fig9b|fig11|fig12|ablations|netsweep|saturate|all> [flags]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"anton3/internal/experiments"
+	"anton3/internal/packet"
 	"anton3/internal/runner"
 	"anton3/internal/topo"
 )
@@ -44,10 +45,13 @@ func run() int {
 	steps := fs.Int("steps", 3, "timestep count (fig9b, fig12)")
 	warm := fs.Int("warm", 3, "warmup steps (fig9a)")
 	measure := fs.Int("measure", 4, "measured steps (fig9a)")
-	shapes := fs.String("shapes", "4x4x8,8x8x8", "netsweep torus shapes, comma-separated XxYxZ")
-	loads := fs.String("loads", "0.5,1,2,3,4", "netsweep offered loads, comma-separated")
-	npkts := fs.Int("npkts", 96, "netsweep measured packets per node")
-	nwarm := fs.Int("nwarm", 32, "netsweep warmup packets per node")
+	shapes := fs.String("shapes", "4x4x8,8x8x8", "netsweep/saturate torus shapes, comma-separated XxYxZ")
+	loads := fs.String("loads", "0.5,1,2,3,4", "netsweep/saturate offered loads, comma-separated")
+	npkts := fs.Int("npkts", 96, "netsweep/saturate measured packets per node (saturate: per unit load)")
+	nwarm := fs.Int("nwarm", 32, "netsweep/saturate warmup packets per node")
+	vcq := fs.Int("vcq", 0, "saturate per-VC ingress queue depth in flits (0 = bandwidth-delay default)")
+	injq := fs.Int("injq", 0, "saturate per-source injection window in packets (0 = default)")
+	autoshard := fs.Bool("autoshard", false, "grant spare cores to netsweep/saturate cells as kernel shards at dispatch")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
 	fs.Parse(os.Args[2:])
@@ -92,6 +96,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "anton3: -shards must be >= 1 (got %d)\n", *shards)
 		return 2
 	}
+	if *vcq != 0 && *vcq < packet.MaxFlitsPerPkt {
+		fmt.Fprintf(os.Stderr, "anton3: -vcq must be 0 (default depth) or >= %d flits, the largest packet (got %d)\n",
+			packet.MaxFlitsPerPkt, *vcq)
+		return 2
+	}
 	maxprocs := runtime.GOMAXPROCS(0)
 	if *jobs == 0 && *shards > 1 {
 		if *jobs = maxprocs / *shards; *jobs < 1 {
@@ -113,15 +122,22 @@ func run() int {
 	p.Fig9aMeasure = *measure
 	p.NetPackets = *npkts
 	p.NetWarmup = *nwarm
+	p.Saturate = cmd == "saturate"
+	p.SatPackets = *npkts
+	p.SatWarmup = *nwarm
+	p.SatQueueFlits = *vcq
+	p.SatInjDepth = *injq
 	var err error
 	if p.NetShapes, err = parseShapes(*shapes); err != nil {
 		fmt.Fprintln(os.Stderr, "anton3:", err)
 		return 2
 	}
+	p.SatShapes = p.NetShapes
 	if p.NetLoads, err = parseLoads(*loads); err != nil {
 		fmt.Fprintln(os.Stderr, "anton3:", err)
 		return 2
 	}
+	p.SatLoads = p.NetLoads
 
 	selected := experiments.SelectJobs(experiments.Jobs(p), cmd)
 	if len(selected) == 0 {
@@ -134,7 +150,10 @@ func run() int {
 	// order a sequential run would print them. Hidden results are the
 	// sharded sub-jobs a reducer folds into one figure; their rows only
 	// appear in the JSON report.
-	rep, err := runner.RunEmit(selected, *jobs, func(res runner.Result) {
+	// Auto-sharding only composes with the worker budget when cells are
+	// not already explicitly sharded via -shards.
+	opts := runner.Options{AutoShard: *autoshard && *shards <= 1}
+	rep, err := runner.RunEmitOpts(selected, *jobs, opts, func(res runner.Result) {
 		if !res.Hidden {
 			fmt.Println(res.Text)
 		}
@@ -205,16 +224,23 @@ subcommands:
   ablations  design-choice ablations from DESIGN.md
   netsweep   synthetic-load latency sweep: routing policy x traffic pattern
              x torus shape (incl. 512 nodes; see -shapes/-loads)
-  all        everything above
+  saturate   closed-loop saturation sweep: per-VC ingress queues + credit
+             backpressure, offered vs accepted throughput, auto-located
+             saturation knee, 4 policies (incl. credit-echo) x 6 patterns
+  all        everything above except saturate (kept byte-stable across PRs)
 
 flags (after the subcommand):
   -jobs N    worker count; independent experiments run in parallel (0 = all cores)
-  -shards N  kernel shards per netsweep machine: one simulated machine runs
-             across N cores via conservative-lookahead parallel simulation,
-             byte-identical to -shards 1; default jobs drops to cores/N
+  -shards N  kernel shards per netsweep/saturate machine: one simulated
+             machine runs across N cores via conservative-lookahead parallel
+             simulation, byte-identical to -shards 1; default jobs = cores/N
+  -autoshard when a netsweep/saturate cell starts while the core budget
+             exceeds the runnable jobs, run it sharded across the spare
+             cores (byte-identical output; running cells never re-shard)
   -json P    write the runner report (per-job rows and timings) to P
   -q         suppress the runner summary line on stderr
   -pairs, -atoms, -steps, -warm, -measure   experiment sizes (see -h)
-  -shapes, -loads, -npkts, -nwarm           netsweep grid (see -h)
+  -shapes, -loads, -npkts, -nwarm           netsweep/saturate grid (see -h)
+  -vcq N, -injq N                           saturate queue/window depths
   -cpuprofile P, -memprofile P              write pprof profiles of the run`)
 }

@@ -16,13 +16,16 @@ import (
 	"strings"
 )
 
-// Bench is one parsed benchmark result line.
+// Bench is one parsed benchmark result line. Extra carries custom metrics
+// reported via testing.B.ReportMetric — e.g. the saturation knee loads the
+// flow benchmarks attach as "knee_load" — keyed by their unit string.
 type Bench struct {
-	Name        string  `json:"name"`
-	Iters       int64   `json:"iters"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"b_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"b_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the committed artifact shape.
@@ -102,6 +105,16 @@ func parseBench(line string) (Bench, bool) {
 			b.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":
 			b.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		default:
+			// A ReportMetric custom unit; keep it so artifacts like
+			// BENCH_saturation.json can carry domain numbers (knee loads).
+			var v float64
+			if v, err = strconv.ParseFloat(val, 64); err == nil {
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[unit] = v
+			}
 		}
 		if err != nil {
 			return Bench{}, false

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"anton3/internal/flow"
 	"anton3/internal/route"
 	"anton3/internal/runner"
 	"anton3/internal/sim"
@@ -40,8 +41,26 @@ type Params struct {
 	// NetShards shards each netsweep machine across that many kernels
 	// (conservative-lookahead parallel simulation; see machine.Config.
 	// Shards). Output is byte-identical at every value; 0 or 1 is the
-	// sequential machine.
+	// sequential machine. Saturate cells shard with the same value.
 	NetShards int
+
+	// Saturate gates the closed-loop saturation grid (anton3 saturate):
+	// the jobs are appended to the registry only when set, so the `all`
+	// output stream stays byte-identical to older trees.
+	Saturate bool
+	// SatShapes/SatLoads/SatPackets/SatWarmup size the saturate grid the
+	// way the Net* fields size netsweep; packets and warmup are per node
+	// at unit load (the closed-loop harness scales them with the load so
+	// the offered horizon stays load-independent).
+	SatShapes  []topo.Shape
+	SatLoads   []float64
+	SatPackets int
+	SatWarmup  int
+	// SatQueueFlits and SatInjDepth configure the per-VC ingress queue
+	// depth and per-source injection window; 0 takes the flow package
+	// defaults (bandwidth-delay-product queues, 8-slot windows).
+	SatQueueFlits int
+	SatInjDepth   int
 }
 
 // DefaultParams returns the paper-scale configuration.
@@ -68,6 +87,11 @@ func DefaultParams() Params {
 		NetLoads:   []float64{0.5, 1, 2, 3, 4},
 		NetPackets: 96,
 		NetWarmup:  32,
+
+		SatShapes:  []topo.Shape{{X: 4, Y: 4, Z: 8}, {X: 8, Y: 8, Z: 8}},
+		SatLoads:   []float64{0.5, 1, 2, 3, 4},
+		SatPackets: 96,
+		SatWarmup:  32,
 	}
 }
 
@@ -142,21 +166,70 @@ func fig11Jobs() []runner.Job {
 
 // netsweepJobs registers one job per shape x pattern, each sweeping every
 // routing policy across the offered loads. Seeds depend on position only,
-// so the grid decomposes freely across workers.
+// so the grid decomposes freely across workers. Cells are auto-shardable:
+// when the pool has idle workers and -autoshard is on, a cell's machine
+// runs across the spare cores with byte-identical output (pinned by the
+// shard-invariance tier-1 tests).
 func netsweepJobs(p Params) []runner.Job {
 	var jobs []runner.Job
 	for si, shape := range p.NetShapes {
 		for pi, pat := range synth.Patterns() {
 			shape, pat := shape, pat
 			seed := uint64(7000 + 100*si + pi)
-			jobs = append(jobs, runner.Job{
+			run := func(shards int) (runner.Output, error) {
+				r := synth.Sweep(shape, route.Policies(), pat, p.NetLoads, p.NetPackets, p.NetWarmup, seed, shards)
+				return runner.Output{Text: r.Render(), Data: r}, nil
+			}
+			job := runner.Job{
 				Name: fmt.Sprintf("netsweep/%s/%s", shape, pat.Name),
 				Seed: seed,
 				Cost: 0.1 * float64(shape.Nodes()) / 16,
 				Run: func(*sim.Rand) (runner.Output, error) {
-					r := synth.Sweep(shape, route.Policies(), pat, p.NetLoads, p.NetPackets, p.NetWarmup, seed, p.NetShards)
-					return runner.Output{Text: r.Render(), Data: r}, nil
-				}})
+					return run(p.NetShards)
+				}}
+			if p.NetShards <= 1 {
+				job.ShardRun = func(_ *sim.Rand, shards int) (runner.Output, error) {
+					return run(shards)
+				}
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	return jobs
+}
+
+// saturateJobs registers the closed-loop saturation grid: one job per
+// shape x pattern, each sweeping all four policies (netsweep's trio plus
+// credit-echo) across the offered loads and bisecting for each policy's
+// saturation knee. Like netsweep cells they pre-draw all randomness from
+// the cell seed, so the grid is byte-identical at any worker and shard
+// count, and they are auto-shardable the same way.
+func saturateJobs(p Params) []runner.Job {
+	var jobs []runner.Job
+	for si, shape := range p.SatShapes {
+		for pi, pat := range synth.Patterns() {
+			shape, pat := shape, pat
+			seed := uint64(9000 + 100*si + pi)
+			run := func(shards int) (runner.Output, error) {
+				r := flow.Sweep(shape, route.SaturatePolicies(), pat, p.SatLoads,
+					p.SatPackets, p.SatWarmup, seed, shards, p.SatQueueFlits, p.SatInjDepth)
+				return runner.Output{Text: r.Render(), Data: r}, nil
+			}
+			job := runner.Job{
+				Name: fmt.Sprintf("saturate/%s/%s", shape, pat.Name),
+				Seed: seed,
+				// ~4 policies x (sweep + knee probes) of load-scaled
+				// closed-loop points: roughly 5x a netsweep cell.
+				Cost: 0.5 * float64(shape.Nodes()) / 16,
+				Run: func(*sim.Rand) (runner.Output, error) {
+					return run(p.NetShards)
+				}}
+			if p.NetShards <= 1 {
+				job.ShardRun = func(_ *sim.Rand, shards int) (runner.Output, error) {
+					return run(shards)
+				}
+			}
+			jobs = append(jobs, job)
 		}
 	}
 	return jobs
@@ -242,6 +315,9 @@ func Jobs(p Params) []runner.Job {
 			}},
 	)
 	jobs = append(jobs, netsweepJobs(p)...)
+	if p.Saturate {
+		jobs = append(jobs, saturateJobs(p)...)
+	}
 	return jobs
 }
 

@@ -1,0 +1,187 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"anton3/internal/route"
+	"anton3/internal/synth"
+	"anton3/internal/topo"
+)
+
+// SatRatio is the saturation detector: a point whose accepted/offered
+// ratio falls below it (or that wedged) counts as saturated. Below
+// saturation the closed-loop rig reproduces the offered schedule exactly
+// and the ratio sits at 1.0, so the knee is sharp.
+const SatRatio = 0.95
+
+// KneeIters is the bisection depth of the saturation search; with it the
+// knee is located to (hi-lo)/2^KneeIters of the initial bracket.
+const KneeIters = 6
+
+// kneeDoublings bounds the bracket expansion when no swept load saturated.
+const kneeDoublings = 3
+
+// Saturated reports whether a point is past the saturation knee.
+func Saturated(pt Point) bool {
+	return pt.Undelivered > 0 || pt.Accepted < SatRatio*pt.Offered
+}
+
+// Curve is one policy's closed-loop curve under one pattern, with the
+// bisection-located saturation knee.
+type Curve struct {
+	Policy string `json:"policy"`
+	// Knee is the saturation load located by bisection, in offered-load
+	// units. KneeLB marks a lower bound: the search never found a
+	// saturated load within its doubling budget.
+	Knee   float64 `json:"knee"`
+	KneeLB bool    `json:"knee_lb,omitempty"`
+	Points []Point `json:"points"`
+}
+
+// probeSeed scrambles a probe load into the cell seed so knee probes get
+// streams disjoint from the sweep points and from each other.
+func probeSeed(seed uint64, load float64) uint64 {
+	x := math.Float64bits(load) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return seed ^ 0x73617475726174 ^ x // "saturat"
+}
+
+// findKnee bisects for the saturation knee given the swept points. The
+// bracket comes from the sweep (last unsaturated, first saturated load);
+// if nothing saturated, the upper edge doubles up to kneeDoublings times
+// before the search gives up and reports a lower bound.
+func findKnee(h *Harness, pat synth.Pattern, pts []Point, packets, warmup int, seed uint64) (float64, bool) {
+	probe := func(load float64) bool {
+		return Saturated(h.RunPoint(pat, load, packets, warmup, probeSeed(seed, load)))
+	}
+	if len(pts) == 0 {
+		return 0, true
+	}
+	var lo, hi float64
+	for _, pt := range pts {
+		if Saturated(pt) {
+			hi = pt.Load
+			break
+		}
+		lo = pt.Load
+	}
+	if hi == 0 {
+		// Nothing swept saturated: expand the upper edge by doubling.
+		hi = 2 * lo
+		found := false
+		for i := 0; i < kneeDoublings; i++ {
+			if probe(hi) {
+				found = true
+				break
+			}
+			lo = hi
+			hi *= 2
+		}
+		if !found {
+			return lo, true
+		}
+	}
+	for i := 0; i < KneeIters; i++ {
+		mid := (lo + hi) / 2
+		if probe(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2, false
+}
+
+// SweepPattern measures one pattern across every policy and offered load
+// on the given shape, then locates each policy's saturation knee. All
+// policies at one load share one seed, so they face byte-identical offered
+// traffic (paired comparison); cells of one policy share one machine
+// (reset between loads), which keeps the sweep's steady state
+// allocation-free. Loads must be ascending.
+func SweepPattern(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, shards, queueFlits, injDepth int) []Curve {
+	curves := make([]Curve, len(policies))
+	for pi, pol := range policies {
+		c := Curve{Policy: pol.Name()}
+		h := NewHarness(shape, pol, shards, queueFlits, injDepth)
+		for li, load := range loads {
+			c.Points = append(c.Points, h.RunPoint(
+				pat, load, packets, warmup, seed+uint64(li)*9176,
+			))
+		}
+		c.Knee, c.KneeLB = findKnee(h, pat, c.Points, packets, warmup, seed)
+		curves[pi] = c
+	}
+	return curves
+}
+
+// Result is one pattern x shape table of the saturate experiment.
+type Result struct {
+	Shape      string  `json:"shape"`
+	Nodes      int     `json:"nodes"`
+	Pattern    string  `json:"pattern"`
+	QueueFlits int     `json:"queue_flits"`
+	InjDepth   int     `json:"inj_depth"`
+	Curves     []Curve `json:"curves"`
+}
+
+// Sweep runs SweepPattern and packages the result for reports.
+func Sweep(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, shards, queueFlits, injDepth int) Result {
+	if queueFlits <= 0 {
+		queueFlits = DefaultQueueFlits
+	}
+	if injDepth <= 0 {
+		injDepth = DefaultInjDepth
+	}
+	return Result{
+		Shape:      shape.String(),
+		Nodes:      shape.Nodes(),
+		Pattern:    pat.Name,
+		QueueFlits: queueFlits,
+		InjDepth:   injDepth,
+		Curves:     SweepPattern(shape, policies, pat, loads, packets, warmup, seed, shards, queueFlits, injDepth),
+	}
+}
+
+// Render formats the table: one row per offered load with an
+// accepted-throughput/p99 column pair per policy, the located saturation
+// knees underneath, and any wedged (deadlocked) cells called out.
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Saturate: pattern %s on %s (%d nodes) — closed-loop accepted throughput vs offered load (%d-flit VC queues, %d-slot sources)\n",
+		r.Pattern, r.Shape, r.Nodes, r.QueueFlits, r.InjDepth)
+	fmt.Fprintf(&b, "%8s", "offered")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, " %15s %9s", c.Policy+" acc", "p99")
+	}
+	b.WriteByte('\n')
+	if len(r.Curves) == 0 {
+		return b.String()
+	}
+	var wedged []string
+	for i := range r.Curves[0].Points {
+		fmt.Fprintf(&b, "%8.3f", r.Curves[0].Points[i].Offered)
+		for _, c := range r.Curves {
+			pt := c.Points[i]
+			fmt.Fprintf(&b, " %15.3f %9.1f", pt.Accepted, pt.P99Ns)
+			if pt.Undelivered > 0 {
+				wedged = append(wedged, fmt.Sprintf("%s@%.3g(%d stuck)", c.Policy, pt.Load, pt.Undelivered))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("saturation knee:")
+	for _, c := range r.Curves {
+		lb := ""
+		if c.KneeLB {
+			lb = ">="
+		}
+		fmt.Fprintf(&b, "  %s %s%.3f", c.Policy, lb, c.Knee)
+	}
+	b.WriteByte('\n')
+	if len(wedged) > 0 {
+		fmt.Fprintf(&b, "deadlocked cells: %s\n", strings.Join(wedged, ", "))
+	}
+	return b.String()
+}

@@ -108,13 +108,29 @@ func (n *Node) fenceRoundComplete(id, r int) {
 	}
 }
 
+// fenceInjBase places fence-packet lineage serials in their own region of
+// the injection-order space, disjoint from data-packet indices and credit
+// serials (creditInjBase), so a fence copy can never compare equal to a
+// measured packet on a lineage tie.
+const fenceInjBase = uint64(3) << 62
+
 // relayFence sends the round-r fence copies: one header-only packet per
 // request VC on every outbound channel slice. Fence packets ride the same
 // actor-driven walk as data packets (WalkArrive at the neighbor, then
 // WalkFenceMerge after the per-hop flood latency) and recycle through the
 // machine's packet pool.
+//
+// Under lineage ordering (sharded runs mixing fences with measured
+// traffic), each copy gets a content-based lineage: its chain starts at
+// the relay instant — itself a pure function of fence arrival times, which
+// are shard-invariant by the merge-counting argument — and its injection
+// serial encodes (node, round, channel, vc). Same-picosecond ties between
+// a fence copy and a data packet on a shared channel therefore resolve
+// identically at every shard count, closing the old schedule-order
+// fallback caveat.
 func (n *Node) relayFence(id, r int) {
 	m := n.m
+	nodeIdx := uint64(m.cfg.Shape.Index(n.Coord))
 	for _, cs := range n.ChannelSpecs() {
 		ch := n.out[cs.Index()]
 		dstCoord := m.cfg.Shape.Neighbor(n.Coord, cs.Dim, cs.Dir)
@@ -133,6 +149,11 @@ func (n *Node) relayFence(id, r int) {
 			p.Cur = dstCoord
 			p.In = in
 			p.State = packet.WalkArrive
+			if m.lineage {
+				p.Hist = append(p.Hist[:0], n.sh.k.Now())
+				p.Inj = fenceInjBase + (nodeIdx<<24 | uint64(r)<<12 |
+					uint64(cs.Index())<<4 | uint64(vc))
+			}
 			ch.SendPacket(p)
 		}
 	}

@@ -39,6 +39,16 @@ type Config struct {
 	// merged at a window barrier. 0 or 1 means the classic single-kernel
 	// machine; values above the node count are clamped.
 	Shards int
+	// VCQueueFlits, when positive, enables bounded per-VC ingress queues
+	// with credit-based flow control at every node (see vcq.go): each
+	// inbound channel gets one FIFO of this depth (in flits) per virtual
+	// channel, senders hold matching credit counters, and packets that
+	// cannot get credits park — making VC choice and head-of-line blocking
+	// performance-visible. 0 (the default) keeps the historical
+	// infinite-buffer channel model, byte-identical to earlier trees.
+	// Credits return over the reverse wire at Lat.ChannelFixed, the same
+	// lookahead floor the sharded executive relies on.
+	VCQueueFlits int
 }
 
 // DefaultConfig returns the production configuration for a given torus
@@ -63,6 +73,12 @@ type mshard struct {
 	rng    *sim.Rand
 	pktID  uint64
 	lo, hi int
+
+	// creds is the shard's credit-message free list (per-VC flow control);
+	// curHist is the lineage chain of the event this shard is currently
+	// executing, the chain credit returns scheduled inside it inherit.
+	creds   []*creditMsg
+	curHist []sim.Time
 }
 
 // nextPktID hands out this shard's packet IDs.
@@ -86,6 +102,8 @@ type Machine struct {
 	lineage  bool              // maintain packet lineage for shard-count-invariant tie order
 	policy   route.Policy
 	adaptive bool               // policy.Adaptive(), cached for the per-hop path
+	credEcho bool               // policy wants the credit-lookahead load view
+	vcqFlits int                // Config.VCQueueFlits, cached for the per-hop path
 	specs    []chip.ChannelSpec // the shape's channel specs, in dense-index order
 
 	// pool aliases shard 0's — the single-shard engines (timestep, GC
@@ -111,6 +129,7 @@ type Node struct {
 	specPos [chip.NumChannelSpecs]int8
 	fences  [fence.MaxConcurrent]*fenceOp
 	views   [chip.Slices]nodeLoadView
+	vcq     *nodeVCQ // per-VC flow control state; nil unless Config.VCQueueFlits > 0
 }
 
 // shardSeed derives shard s's rng seed. Shard 0 uses the configured seed
@@ -149,6 +168,11 @@ func New(cfg Config) *Machine {
 		m.policy = route.Random()
 	}
 	m.adaptive = m.policy.Adaptive()
+	m.vcqFlits = cfg.VCQueueFlits
+	if m.vcqFlits > 0 && m.vcqFlits < packet.MaxFlitsPerPkt {
+		panic(fmt.Sprintf("machine: VCQueueFlits %d cannot hold a %d-flit packet", m.vcqFlits, packet.MaxFlitsPerPkt))
+	}
+	_, m.credEcho = m.policy.(route.CreditSteered)
 	m.Geom = chip.New(m.Clock, cfg.Lat)
 	m.specs = chip.AllChannelSpecs(cfg.Shape)
 
@@ -203,6 +227,13 @@ func New(cfg Config) *Machine {
 		}
 		for sl := range n.views {
 			n.views[sl] = nodeLoadView{n: n, slice: sl}
+		}
+		if m.vcqFlits > 0 {
+			n.vcq = &nodeVCQ{}
+			for sl := range n.vcq.views {
+				n.vcq.views[sl] = creditLoadView{n: n, slice: sl}
+			}
+			n.resetVCQ(m.vcqFlits)
 		}
 		m.nodes[i] = n
 	}
@@ -291,6 +322,24 @@ func (m *Machine) BeginLineageRun() {
 	m.exec.BeginLineageOrder()
 }
 
+// ForceLineageRun is BeginLineageRun without the single-shard exemption:
+// every kernel, including a lone one, orders same-timestamp ties by
+// lineage. Workloads built on per-VC flow control need this: credit
+// arrivals revive parked packets from *foreign* events, whose lineage
+// rank (the packet's own history) deliberately differs from the kernel's
+// plain schedule order — so instead of reproducing sequential order at
+// higher shard counts, the single-shard run adopts the same content-based
+// order the sharded runs use. Either way the order is a pure function of
+// the seed, and results are byte-identical at every shard count.
+func (m *Machine) ForceLineageRun() {
+	m.lineage = true
+	if m.exec != nil {
+		m.exec.BeginLineageOrder()
+		return
+	}
+	m.K.BeginLineageOrder()
+}
+
 // Run executes the machine to completion: the kernel's event loop on a
 // single-shard machine, the conservative-lookahead window loop across all
 // shard kernels otherwise. It returns the timestamp of the last executed
@@ -315,6 +364,7 @@ func (m *Machine) Reset(seed uint64) {
 		sh.k.Reset()
 		sh.pktID = 0
 		sh.rng.Reseed(shardSeed(seed, s))
+		sh.curHist = nil
 	}
 	for _, n := range m.nodes {
 		for _, ch := range n.out {
@@ -328,6 +378,7 @@ func (m *Machine) Reset(seed uint64) {
 		for i := range n.fences {
 			n.fences[i] = nil
 		}
+		n.resetVCQ(m.vcqFlits)
 	}
 	m.fenceAlloc = fence.Allocator{}
 }

@@ -43,6 +43,12 @@ func (m *Machine) sliceFor(p *packet.Packet) int {
 // delivers without a single heap allocation. Packets obtained from
 // NewPacket are recycled after delivery.
 //
+// With per-VC ingress queues enabled (Config.VCQueueFlits > 0) the first
+// hop needs downstream credits: a refused packet returns from Send in
+// packet.WalkParked and starts injecting only when a credit arrival
+// revives it (closed-loop sources watch for this via p.OnAccept — see
+// vcq.go).
+//
 // On a sharded machine, Send must run inside an event of the shard owning
 // p.SrcNode (an injection actor scheduled via NodeKernel, or a delivery at
 // that node); every kernel interaction below is with that shard.
@@ -85,10 +91,16 @@ func (m *Machine) Send(p *packet.Packet, done packet.Deliverer) {
 	if !ok {
 		panic("machine: inter-node packet with no first hop")
 	}
-	out := chip.ChannelSpec{Dim: first.Dim, Dir: first.Dir, Slice: int(p.Slice)}
 	p.Cur = p.SrcNode
-	p.Out = int8(out.Index())
 	p.In = -1
+	if m.vcqFlits > 0 {
+		// Per-VC flow control: the first hop needs downstream credits, and
+		// a refused packet parks (packet.WalkParked) until they arrive.
+		m.sendFlow(p, m.Node(p.SrcNode), first)
+		return
+	}
+	out := chip.ChannelSpec{Dim: first.Dim, Dir: first.Dir, Slice: int(p.Slice)}
+	p.Out = int8(out.Index())
 	p.State = packet.WalkTransit
 	sh.k.AfterActor(m.Geom.InjectLatency(p.SrcCore, out), p)
 }
@@ -101,10 +113,15 @@ func (m *Machine) nextStep(p *packet.Packet, cur topo.Coord) (topo.Step, bool) {
 		return route.ResponseNext(cur, p.DstNode)
 	}
 	// Only adaptive policies read the load view; oblivious ones would
-	// ignore it anyway.
+	// ignore it anyway. Credit-steered policies get the one-hop credit
+	// lookahead when per-VC queues are modeled, the backlog view otherwise.
 	var view route.LoadView
 	if m.adaptive {
-		view = &m.Node(cur).views[p.Slice]
+		if m.credEcho && m.vcqFlits > 0 {
+			view = &m.Node(cur).vcq.views[p.Slice]
+		} else {
+			view = &m.Node(cur).views[p.Slice]
+		}
 	}
 	return m.policy.NextStep(m.cfg.Shape, cur, p.DstNode, p.Order, p.Tie, view)
 }
@@ -117,12 +134,23 @@ func (m *Machine) OnPacket(p *packet.Packet) {
 	node := m.Node(p.Cur)
 	if m.lineage {
 		p.Hist = append(p.Hist, node.sh.k.Now())
+		node.sh.curHist = p.Hist
 	}
 	switch p.State {
 	case packet.WalkTransit:
 		// The inject/transit latency has elapsed: cross the chosen channel.
 		out := chip.ChannelSpecAt(int(p.Out))
-		p.Cur = m.cfg.Shape.Neighbor(p.Cur, out.Dim, out.Dir)
+		next := m.cfg.Shape.Neighbor(p.Cur, out.Dim, out.Dir)
+		if m.vcqFlits > 0 {
+			// Dateline tracking for the per-hop VC assignment: crossing the
+			// wraparound link switches the packet to the high VC for the
+			// rest of this dimension (route.HopVCs semantics).
+			if (out.Dir > 0 && next.Get(out.Dim) < p.Cur.Get(out.Dim)) ||
+				(out.Dir < 0 && next.Get(out.Dim) > p.Cur.Get(out.Dim)) {
+				p.Crossed = true
+			}
+		}
+		p.Cur = next
 		p.In = int8(out.Opposite().Index())
 		p.State = packet.WalkArrive
 		node.out[p.Out].SendPacket(p)
@@ -133,6 +161,12 @@ func (m *Machine) OnPacket(p *packet.Packet) {
 		// point — and transit.
 		if p.Type == packet.Fence {
 			m.fenceHopArrive(p)
+			return
+		}
+		if m.vcqFlits > 0 {
+			// Per-VC flow control: join the bounded ingress FIFO; heads
+			// advance as soon as their chosen output has credits.
+			m.vcqArrive(node, p)
 			return
 		}
 		in := chip.ChannelSpecAt(int(p.In))

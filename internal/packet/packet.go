@@ -104,6 +104,18 @@ type Deliverer interface {
 	Deliver(p *Packet)
 }
 
+// Accepter is notified when a packet that the network initially refused —
+// parked at its first-hop channel for lack of downstream virtual-channel
+// credits (WalkParked) — is finally accepted and starts injecting.
+// Closed-loop traffic sources use it to free an injection-queue slot and
+// resume generation. Only packets whose OnAccept field is set get the
+// callback, and only on the parked path: a packet accepted immediately is
+// never reported (Send returns with the packet out of WalkParked, which
+// tells the caller the same thing synchronously).
+type Accepter interface {
+	Accepted(p *Packet)
+}
+
 // Walker advances a packet through the network. The machine installs itself
 // as the walker when it accepts a packet; each timing event then fires the
 // packet itself (Packet implements sim.Actor) and the walker interprets the
@@ -134,6 +146,11 @@ const (
 	// WalkFenceMerge: the fence per-hop latency has elapsed; merge this
 	// fence copy at node Cur on channel In.
 	WalkFenceMerge
+	// WalkParked: the packet is held by credit flow control (per-VC ingress
+	// queues enabled) — parked at the channel chosen in Out/OutVC until the
+	// downstream virtual-channel queue returns enough credits. No event is
+	// pending for a parked packet; the credit arrival revives it.
+	WalkParked
 )
 
 // CoreID locates a Geometry Core (or other endpoint) on a chip: the tile
@@ -196,6 +213,23 @@ type Packet struct {
 	In     int8
 	Slice  int8
 	Tie    bool
+
+	// Virtual-channel walk state, used only when the machine models per-VC
+	// ingress queues (machine.Config.VCQueueFlits > 0). VC is the virtual
+	// channel whose ingress-queue credits the packet currently holds (or,
+	// for a packet still queued at a node, the queue it occupies); OutVC is
+	// the VC chosen for the next hop while the packet waits for credits.
+	// CurDim and Crossed track the dateline rule that drives the VC
+	// assignment: Crossed flips when the packet traverses the wraparound
+	// link of the dimension it is traversing and resets on a dimension
+	// change, mirroring route.HopVCs.
+	VC      int8
+	OutVC   int8
+	CurDim  int8
+	Crossed bool
+	// OnAccept, when set, is notified if this packet parks at its first-hop
+	// channel and is later revived by a credit arrival (see Accepter).
+	OnAccept Accepter
 
 	// PreRouted marks a request packet whose Order and Tie were assigned
 	// by the caller before Send; the machine then skips its own rng draws.

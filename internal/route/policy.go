@@ -137,6 +137,31 @@ func obliviousNext(s topo.Shape, cur, dst topo.Coord, o topo.DimOrder, plusOnTie
 	return topo.Step{}, false
 }
 
+// CreditSteered marks a Policy whose load view should be the one-hop
+// credit lookahead — the downstream per-VC ingress occupancy the sender's
+// credit counters mirror — rather than the local serialization backlog.
+// The machine model checks for this interface when it builds the view it
+// hands to NextStep; on machines without per-VC queues the policy falls
+// back to the backlog view and behaves like MinimalAdaptive.
+type CreditSteered interface {
+	Policy
+	// CreditSteered is a marker; it reports nothing and must be cheap.
+	CreditSteered()
+}
+
+// EscapeNext returns the escape-channel hop from cur toward dst: the
+// strict XYZ dimension-order minimal step (plusOnTie resolving even-ring
+// direction ties), ok=false at the destination. Credit-based flow control
+// (machine.Config.VCQueueFlits) uses it as the Duato-style escape route:
+// the escape VC pair admits only these hops, whose channel dependency
+// graph — e-cube order plus the dateline VC switch — is acyclic, so the
+// escape subnetwork always drains and a blocked packet parked on it can
+// always eventually advance, whatever cycles the policy's preferred
+// routes form.
+func EscapeNext(s topo.Shape, cur, dst topo.Coord, plusOnTie bool) (topo.Step, bool) {
+	return obliviousNext(s, cur, dst, topo.OrderXYZ, plusOnTie)
+}
+
 // adaptive is the minimal-adaptive policy the paper argues against at
 // Anton 3's scale: among the dimensions that still make minimal progress
 // (topo.LegalNextSteps), take the one whose output link is least loaded
@@ -179,19 +204,48 @@ func (adaptive) VC(o topo.DimOrder, crossedDateline bool) int {
 
 func (adaptive) RequestVCs() int { return NumRequestVCs }
 
-// Policies lists every built-in policy, default first.
+// creditEcho is minimal-adaptive steering on echoed credit state: per hop,
+// take the legal dimension whose downstream per-VC ingress queues have the
+// most free space (CreditSteered makes the machine supply that view). The
+// hop choice logic is MinimalAdaptive's; only the congestion signal
+// differs — one hop of lookahead through the credit loop instead of the
+// local serialization horizon, so it sees head-of-line blocking forming at
+// the neighbor before the local channel backs up.
+type creditEcho struct{ adaptive }
+
+// CreditEcho returns the credit-lookahead adaptive policy. It is only
+// distinguishable from MinimalAdaptive on machines modeling per-VC ingress
+// queues (machine.Config.VCQueueFlits > 0), the closed-loop saturation
+// rig's configuration.
+func CreditEcho() Policy { return creditEcho{} }
+
+func (creditEcho) Name() string { return "credit-echo" }
+
+func (creditEcho) CreditSteered() {}
+
+// Policies lists the policies of the open-loop netsweep grid, default
+// first. (Deliberately without CreditEcho: netsweep machines model no
+// per-VC queues, where credit-echo degenerates to MinimalAdaptive, and the
+// netsweep report format is pinned byte-for-byte across PRs.)
 func Policies() []Policy {
 	return []Policy{Random(), XYZ(), MinimalAdaptive()}
 }
 
+// SaturatePolicies lists the policies of the closed-loop saturation sweep:
+// the netsweep trio plus the credit-echo variant that per-VC queues make
+// meaningful.
+func SaturatePolicies() []Policy {
+	return append(Policies(), CreditEcho())
+}
+
 // PolicyByName resolves a policy by its Name, for CLI flags and configs.
 func PolicyByName(name string) (Policy, error) {
-	for _, p := range Policies() {
+	for _, p := range SaturatePolicies() {
 		if p.Name() == name {
 			return p, nil
 		}
 	}
-	return nil, fmt.Errorf("route: unknown policy %q (have random, xyz, adaptive)", name)
+	return nil, fmt.Errorf("route: unknown policy %q (have random, xyz, adaptive, credit-echo)", name)
 }
 
 // Walk replays a policy's hop decisions from src to dst without a network:

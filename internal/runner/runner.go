@@ -62,6 +62,29 @@ type Job struct {
 	// while keeping output byte-identical at any worker count.
 	Needs  []string
 	Reduce func(rng *sim.Rand, inputs []Result) (Output, error)
+	// ShardRun, when set alongside Run, lets the pool run the job with
+	// extra kernel shards when workers would otherwise idle (see
+	// Options.AutoShard): the pool calls ShardRun(rng, n) instead of Run
+	// for some n in {2, 4} it budgeted from the spare workers. The job
+	// must produce output byte-identical to Run at any shard count — the
+	// guarantee the sharded simulation harnesses already carry — so the
+	// promotion changes wall time only, never a digit of output.
+	ShardRun func(rng *sim.Rand, shards int) (Output, error)
+}
+
+// Options tunes pool scheduling; the zero value is the historical
+// behavior.
+type Options struct {
+	// AutoShard grants spare cores to shardable jobs at dispatch time:
+	// whenever a job is handed to a worker while the core budget exceeds
+	// the jobs available to run (a grid smaller than the machine, or the
+	// trailing dispatches of a draining queue), it runs through ShardRun
+	// with the spare capacity instead of on one core. Already-running
+	// jobs are never re-sharded — the decision is made once, when the job
+	// starts — so a long pole only benefits when the supply shortfall is
+	// visible at its dispatch. Jobs without ShardRun are unaffected, and
+	// output is byte-identical either way.
+	AutoShard bool
 }
 
 // Result is one job's outcome inside a Report.
@@ -107,9 +130,18 @@ func Run(jobs []Job, workers int) (Report, error) {
 // emitted texts (skipping Hidden ones) produces output byte-identical to
 // a sequential run without waiting for the whole pool to drain.
 func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
+	return RunEmitOpts(jobs, workers, Options{}, emit)
+}
+
+// RunEmitOpts is RunEmit with scheduling options.
+func RunEmitOpts(jobs []Job, workers int, opts Options, emit func(Result)) (Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// capacity is the caller's core budget; the goroutine count below is
+	// clamped to the job count, but auto-shard promotion spends the full
+	// budget (a lone job on a 4-core budget runs 4-sharded).
+	capacity := workers
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -143,20 +175,23 @@ func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
 
 	start := time.Now()
 	cpu0 := processCPUNs()
-	next := make(chan int, len(jobs)) // buffered: the coordinator never blocks
-	done := make(chan int, len(jobs)) // buffered: workers never block here
+	type work struct{ idx, shards int }
+	next := make(chan work, len(jobs)) // buffered: the coordinator never blocks
+	done := make(chan int, len(jobs))  // buffered: workers never block here
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range next {
+			for wk := range next {
+				idx := wk.idx
 				job := jobs[idx]
 				res := Result{Name: job.Name, Seed: job.Seed, Hidden: job.Hidden}
 				t0 := time.Now()
 				var out Output
 				var err error
-				if job.Reduce != nil {
+				switch {
+				case job.Reduce != nil:
 					// The receive of each dependency's index on done
 					// ordered its Results write before this job was
 					// pushed onto next.
@@ -165,7 +200,9 @@ func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
 						inputs[i] = rep.Results[d]
 					}
 					out, err = job.Reduce(sim.NewRand(job.Seed), inputs)
-				} else {
+				case wk.shards > 1:
+					out, err = job.ShardRun(sim.NewRand(job.Seed), wk.shards)
+				default:
 					out, err = job.Run(sim.NewRand(job.Seed))
 				}
 				res.WallNs = time.Since(t0).Nanoseconds()
@@ -180,16 +217,41 @@ func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
 			}
 		}()
 	}
-	dispatched, closed := 0, false
-	dispatch := func(idxs []int) {
-		for _, idx := range idxs {
-			next <- idx
+	// Ready jobs wait in a cost-sorted pending queue and are released to
+	// the worker channel only up to the goroutine count: holding the rest
+	// back lets every dispatch see the pool's true state, so auto-shard
+	// promotion is evaluated at each job's start rather than once at
+	// startup.
+	dispatched, closed, inFlight := 0, false, 0
+	var pendingQ []int
+	fill := func() {
+		for len(pendingQ) > 0 && inFlight < workers {
+			idx := pendingQ[0]
+			pendingQ = pendingQ[1:]
+			w := work{idx: idx, shards: 1}
+			// Spare capacity after this job and everything still pending
+			// gets a core goes to this job as extra kernel shards. The
+			// promotion spends idle cores, never contends for busy ones.
+			if opts.AutoShard && jobs[idx].ShardRun != nil {
+				if spare := capacity - inFlight - 1 - len(pendingQ); spare >= 3 {
+					w.shards = 4
+				} else if spare >= 1 {
+					w.shards = 2
+				}
+			}
+			inFlight++
+			next <- w
 			dispatched++
 		}
 		if dispatched == len(jobs) && !closed {
 			close(next)
 			closed = true
 		}
+	}
+	dispatch := func(idxs []int) {
+		pendingQ = append(pendingQ, idxs...)
+		byCostDesc(pendingQ)
+		fill()
 	}
 	dispatch(ready)
 	// Emit the contiguous completed prefix as completions arrive; the
@@ -198,6 +260,7 @@ func RunEmit(jobs []Job, workers int, emit func(Result)) (Report, error) {
 	emitted := 0
 	for range jobs {
 		idx := <-done
+		inFlight--
 		completed[idx] = true
 		var unblocked []int
 		for _, d := range dependents[idx] {
@@ -260,6 +323,9 @@ func resolveDeps(jobs []Job) (deps, dependents [][]int, err error) {
 				return nil, nil, fmt.Errorf("runner: job %q sets Reduce without Needs", j.Name)
 			}
 			continue
+		}
+		if j.ShardRun != nil {
+			return nil, nil, fmt.Errorf("runner: job %q sets ShardRun on a Reduce job", j.Name)
 		}
 		if j.Reduce == nil || j.Run != nil {
 			return nil, nil, fmt.Errorf("runner: job %q has Needs and must set Reduce (and not Run)", j.Name)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -308,5 +309,75 @@ func TestReduceSeesDependencyError(t *testing.T) {
 	}
 	if rep.Results[1].Err == "" {
 		t.Fatal("reducer should have reported the shard failure")
+	}
+}
+
+// TestAutoShardPromotesLongPole checks the idle-worker budgeting: with
+// spare workers, the most expensive ready shardable job runs through
+// ShardRun with the spare capacity; without Options.AutoShard, ShardRun is
+// never used.
+func TestAutoShardPromotesLongPole(t *testing.T) {
+	var mu sync.Mutex
+	granted := map[string]int{}
+	mk := func(name string, cost float64, shardable bool) Job {
+		j := Job{Name: name, Cost: cost, Run: func(*sim.Rand) (Output, error) {
+			mu.Lock()
+			granted[name] = 1
+			mu.Unlock()
+			return Output{Text: name}, nil
+		}}
+		if shardable {
+			j.ShardRun = func(_ *sim.Rand, shards int) (Output, error) {
+				mu.Lock()
+				granted[name] = shards
+				mu.Unlock()
+				return Output{Text: name}, nil
+			}
+		}
+		return j
+	}
+
+	// One shardable long pole, four workers, nothing else ready: the pole
+	// should get all the spare capacity.
+	rep, err := RunEmitOpts([]Job{mk("pole", 10, true)}, 4, Options{AutoShard: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Text != "pole" {
+		t.Fatalf("unexpected result %+v", rep.Results[0])
+	}
+	if granted["pole"] != 4 {
+		t.Fatalf("long pole granted %d shards, want 4", granted["pole"])
+	}
+
+	// Enough ready jobs to occupy every worker: no spare, no promotion.
+	granted = map[string]int{}
+	jobs := []Job{mk("a", 4, true), mk("b", 3, true), mk("c", 2, true), mk("d", 1, true)}
+	if _, err := RunEmitOpts(jobs, 4, Options{AutoShard: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range granted {
+		if g != 1 {
+			t.Fatalf("job %s promoted to %d shards with a full pool", name, g)
+		}
+	}
+
+	// Two shardable jobs on four workers: the spare pair of cores splits,
+	// one extra shard budget to each (2 + 2 = the core budget).
+	granted = map[string]int{}
+	if _, err := RunEmitOpts([]Job{mk("a", 2, true), mk("b", 1, true)}, 4, Options{AutoShard: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if granted["a"] != 2 || granted["b"] != 2 {
+		t.Fatalf("2 jobs on 4 workers granted a=%d b=%d shards, want 2 and 2", granted["a"], granted["b"])
+	}
+
+	// AutoShard off: ShardRun untouched even with idle workers.
+	granted = map[string]int{}
+	if _, err := RunEmitOpts([]Job{mk("pole", 10, true)}, 4, Options{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if granted["pole"] != 1 {
+		t.Fatalf("ShardRun used without AutoShard (granted %d)", granted["pole"])
 	}
 }

@@ -100,6 +100,14 @@ func (ch *Channel) SerializeTime(bits int) sim.Time {
 	return sim.Time((int64(bits)*ch.psNum + ch.psDen - 1) / ch.psDen)
 }
 
+// FixedLatency reports the load-independent crossing latency (SERDES, wire
+// flight, adapters). Credit-based flow control rides sideband credits over
+// the reverse channel, so the machine's credit returns are timed with the
+// reverse channel's FixedLatency — which is also what makes the returns
+// deferrable across shard windows (it equals the executive's lookahead
+// floor).
+func (ch *Channel) FixedLatency() sim.Time { return ch.cfg.FixedLatency }
+
 // Busy reports the current serialization horizon (diagnostics).
 func (ch *Channel) Busy() sim.Time { return ch.busy }
 

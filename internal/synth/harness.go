@@ -2,9 +2,6 @@ package synth
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
-	"slices"
 	"sort"
 	"strings"
 
@@ -76,13 +73,11 @@ type Harness struct {
 	total  int // packets per node including warmup, for the current point
 	warmup int
 
-	// Per-injection schedule, flat-indexed by node*total+k. orders holds
-	// the machine's pre-drawn routing decisions (see RunPoint).
-	times  []sim.Time
-	dsts   []int32
-	orders []topo.DimOrder
-	keys   []uint64
-	injs   []injector
+	// sched is the pre-drawn offered process — intended injection instants,
+	// destinations, and the machine's pre-drawn routing decisions — for the
+	// current point, flat-indexed by node*total+k (see Schedule.Draw).
+	sched Schedule
+	injs  []injector
 
 	// Per-shard measurement state: deliveries happen on the destination
 	// node's shard, so each shard appends to its own buffers and the
@@ -91,8 +86,6 @@ type Harness struct {
 	lats  [][]float64
 	hops  []int64
 	all   []float64 // merged latencies, reused across points
-
-	prng sim.Rand // per-node schedule generator, reseeded per node
 }
 
 // NewHarness builds the measurement machine: compression off (network-only
@@ -134,7 +127,7 @@ func (ij *injector) Act() {
 	h := ij.h
 	flat := int(ij.flat)
 	src := h.shape.CoordOf(flat / h.total)
-	dst := h.shape.CoordOf(int(h.dsts[flat]))
+	dst := h.shape.CoordOf(int(h.sched.Dsts[flat]))
 	p := h.m.NewPacketAt(src)
 	atom := uint32(flat)
 	p.Type = packet.Position
@@ -143,7 +136,7 @@ func (ij *injector) Act() {
 	p.AtomID = atom
 	p.SetQuad([4]uint32{atom, 0xfeed, 0xbeef, 0xcafe})
 	p.PreRouted = true
-	p.Order = h.orders[flat]
+	p.Order = h.sched.Orders[flat]
 	// Position packets break the even-ring direction tie by atom ID; the
 	// machine's tie draw was still consumed by DrawRoute, exactly as Send
 	// consumes it before overriding.
@@ -166,14 +159,6 @@ func (s *sink) Deliver(p *packet.Packet) {
 	}
 	h.lats[s.shard] = append(h.lats[s.shard], (h.m.NodeKernel(p.DstNode).Now() - p.Injected).Nanoseconds())
 	h.hops[s.shard] += int64(h.shape.HopDist(p.SrcNode, p.DstNode))
-}
-
-// grow resizes a slice to n elements, reusing capacity.
-func grow[T any](s []T, n int) []T {
-	if cap(s) < n {
-		return make([]T, n)
-	}
-	return s[:n]
 }
 
 // RunPoint injects Pattern traffic at one offered load and returns the
@@ -200,10 +185,6 @@ func (h *Harness) RunPoint(pat Pattern, load float64, packets, warmup int, seed 
 	nodes := h.shape.Nodes()
 	total := h.total
 	flatN := nodes * total
-	h.times = grow(h.times, flatN)
-	h.dsts = grow(h.dsts, flatN)
-	h.orders = grow(h.orders, flatN)
-	h.keys = grow(h.keys, flatN)
 	if cap(h.injs) < flatN {
 		h.injs = make([]injector, flatN)
 	}
@@ -213,57 +194,9 @@ func (h *Harness) RunPoint(pat Pattern, load float64, packets, warmup int, seed 
 		h.hops[s] = 0
 	}
 
-	// Poisson schedule and destinations, drawn per node exactly as the
-	// sequential harness always has: alternating gap and destination
-	// draws from the node's private stream.
-	meanGap := float64(h.base) / load
-	rng := &h.prng
-	var injectEnd sim.Time
-	for i := 0; i < nodes; i++ {
-		src := h.shape.CoordOf(i)
-		rng.Reseed(seed ^ uint64(i+1)*0x9e3779b97f4a7c15)
-		var t sim.Time
-		for k := 0; k < total; k++ {
-			gap := sim.Time(meanGap * -math.Log(1-rng.Float64()))
-			if gap < 1 {
-				gap = 1
-			}
-			t += gap
-			flat := i*total + k
-			h.times[flat] = t
-			h.dsts[flat] = int32(h.shape.Index(pat.Dest(h.shape, src, rng)))
-		}
-		if t > injectEnd {
-			injectEnd = t
-		}
-	}
-
-	// Pre-draw the routing decisions in sequential injection-firing
-	// order: stable sort by time over the node-major flat index — the
-	// kernel's (at, seq) order for these setup-scheduled events.
-	shift := uint(bits.Len(uint(flatN - 1)))
-	for flat := range h.keys {
-		t := uint64(h.times[flat])
-		if t >= 1<<(63-shift) {
-			panic("synth: injection time overflows the sort key")
-		}
-		h.keys[flat] = t<<shift | uint64(flat)
-	}
-	slices.Sort(h.keys)
-	mask := uint64(1)<<shift - 1
-	for _, key := range h.keys {
-		flat := key & mask
-		// Same-node packets never reach Send's draw (it returns at the
-		// on-chip shortcut first), so they must not consume the stream
-		// here either.
-		if int(h.dsts[flat]) == int(flat)/total {
-			continue
-		}
-		// The tie draw is discarded — Position packets derive theirs from
-		// the atom ID — but DrawRoute still consumed it from the stream,
-		// exactly as Send would have.
-		h.orders[flat], _ = h.m.DrawRoute()
-	}
+	// Draw the offered process — Poisson schedule, destinations, and the
+	// machine's routing pre-draw in sequential injection-firing order.
+	injectEnd := h.sched.Draw(h.m, h.shape, pat, float64(h.base)/load, total, seed)
 
 	// Schedule the injections in node-major (setup sequence) order, each
 	// on the kernel of the shard owning its source node.
@@ -272,7 +205,7 @@ func (h *Harness) RunPoint(pat Pattern, load float64, packets, warmup int, seed 
 		for k := 0; k < total; k++ {
 			flat := i*total + k
 			h.injs[flat] = injector{h: h, flat: int32(flat)}
-			kern.AtActor(h.times[flat], &h.injs[flat])
+			kern.AtActor(h.sched.Times[flat], &h.injs[flat])
 		}
 	}
 
