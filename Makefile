@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short alloc-gate bench bench-parallel bench-saturate lint ci
+.PHONY: build test test-short alloc-gate bench bench-parallel bench-saturate bench-md lint ci
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,9 @@ test:
 	$(GO) test ./...
 
 # The CI fast lane: reduced-size (not skipped) tests under the race
-# detector, the allocation gate, plus the netsweep and saturate CLI
-# smokes (the saturate smoke also diffs sharded vs sequential output).
+# detector, the allocation gate, plus the netsweep, saturate and MD
+# timestep CLI smokes (the saturate and fig12 smokes also diff sharded
+# vs sequential output — shard-count invariance end to end).
 test-short:
 	$(GO) test -short -race ./...
 	$(MAKE) alloc-gate
@@ -21,14 +22,18 @@ test-short:
 	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q > /tmp/anton3-sat-seq.txt
 	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q -shards 2 > /tmp/anton3-sat-sh2.txt
 	diff /tmp/anton3-sat-seq.txt /tmp/anton3-sat-sh2.txt
+	$(GO) run ./cmd/anton3 fig12 -atoms 3000 -steps 2 -q > /tmp/anton3-md-seq.txt
+	$(GO) run ./cmd/anton3 fig12 -atoms 3000 -steps 2 -q -shards 2 > /tmp/anton3-md-sh2.txt
+	diff /tmp/anton3-md-seq.txt /tmp/anton3-md-sh2.txt
 
 # The allocation gate: testing.AllocsPerRun regression tests pinning the
 # steady-state machine.Send (request and response classes), the synth
-# harness inner loop and the closed-loop saturate point at 0 allocs/op.
+# harness inner loop and the closed-loop saturate point at 0 allocs/op,
+# plus the MD timestep budget (allocs/step must not scale with atoms).
 # Run without -race: the detector's instrumentation allocates, so the
 # tests skip themselves there.
 alloc-gate:
-	$(GO) test -run 'AllocFree' -count=1 ./internal/machine ./internal/synth ./internal/flow
+	$(GO) test -run 'AllocFree|TimestepAllocBudget' -count=1 ./internal/machine ./internal/synth ./internal/flow
 
 # The CI bench lane: every paper artifact once, the hot-path micro-bench
 # report (BENCH_hotpath.json: ns/op + allocs/op per PR), the shard-scaling
@@ -39,6 +44,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'SendHotPath|SendResponseHotPath|Netsweep$$' -benchmem -count=1 ./internal/machine ./internal/synth | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
 	$(MAKE) bench-parallel
 	$(MAKE) bench-saturate
+	$(MAKE) bench-md
 	$(GO) run ./cmd/anton3 all -json BENCH_runner.json > /dev/null
 
 # The shard-scaling report: one 512-node netsweep point simulated at
@@ -58,9 +64,22 @@ bench-parallel:
 bench-saturate:
 	$(GO) test -run '^$$' -bench 'SaturatePoint|SaturationKnee' -benchtime=1x -benchmem -count=1 -timeout 1800s ./internal/flow | $(GO) run ./cmd/benchjson > BENCH_saturation.json
 
+# The MD timestep report: ns/step for one 8000-atom water cell at 1/2/4
+# kernel shards (byte-identical results, wall clock only — the shards=1
+# over shards=4 ratio is the MD speedup of the parallel executive), plus
+# the closed-loop backpressure rows: simulated step duration and parked
+# injection counts per queue depth, the MD-traffic counterpart of the
+# synthetic knees in BENCH_saturation.json.
+bench-md:
+	$(GO) test -run '^$$' -bench 'TimestepShards|MDBackpressure' -benchmem -count=1 -timeout 1800s ./internal/machine | $(GO) run ./cmd/benchjson > BENCH_md.json
+
+# staticcheck runs when installed (CI installs it; the target stays green
+# on machines without it rather than failing or fetching a dependency).
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed, skipping (CI runs it)"; fi
 
 ci: lint build test-short bench

@@ -102,7 +102,7 @@ func BenchmarkFig9b_CompressionSpeedup(b *testing.B) {
 	sizes := []int{8000, 16000, 32751}
 	var out string
 	for i := 0; i < b.N; i++ {
-		out = experiments.RenderFig9b(experiments.Fig9b(sizes, 2))
+		out = experiments.RenderFig9b(experiments.Fig9b(sizes, 2, 1))
 	}
 	b.Log("\n" + out)
 }
@@ -118,7 +118,7 @@ func BenchmarkFig11_FenceBarrier(b *testing.B) {
 func BenchmarkFig12_MachineActivity(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
-		out = experiments.Fig12(32751, 2).Render()
+		out = experiments.Fig12(32751, 2, 1).Render()
 	}
 	b.Log("\n" + out)
 }

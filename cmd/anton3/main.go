@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	anton3 <tables|fig5|fig6|fig9a|fig9b|fig11|fig12|ablations|netsweep|saturate|all> [flags]
+//	anton3 <tables|fig5|fig6|fig9a|fig9b|fig11|fig12|ablations|netsweep|saturate|mdsweep|all> [flags]
 package main
 
 import (
@@ -49,6 +49,8 @@ func run() int {
 	loads := fs.String("loads", "0.5,1,2,3,4", "netsweep/saturate offered loads, comma-separated")
 	npkts := fs.Int("npkts", 96, "netsweep/saturate measured packets per node (saturate: per unit load)")
 	nwarm := fs.Int("nwarm", 32, "netsweep/saturate warmup packets per node")
+	mdatoms := fs.Int("mdatoms", 8000, "atom count per mdsweep cell")
+	mdsteps := fs.Int("mdsteps", 2, "timesteps per mdsweep cell")
 	vcq := fs.Int("vcq", 0, "saturate per-VC ingress queue depth in flits (0 = bandwidth-delay default)")
 	injq := fs.Int("injq", 0, "saturate per-source injection window in packets (0 = default)")
 	autoshard := fs.Bool("autoshard", false, "grant spare cores to netsweep/saturate cells as kernel shards at dispatch")
@@ -114,6 +116,7 @@ func run() int {
 
 	p := experiments.DefaultParams()
 	p.NetShards = *shards
+	p.MDShards = *shards
 	p.Fig5Pairs = *pairs
 	p.Fig12Atoms = *atoms
 	p.Fig9bSteps = *steps
@@ -123,6 +126,9 @@ func run() int {
 	p.NetPackets = *npkts
 	p.NetWarmup = *nwarm
 	p.Saturate = cmd == "saturate"
+	p.MDSweep = cmd == "mdsweep"
+	p.MDAtoms = *mdatoms
+	p.MDSteps = *mdsteps
 	p.SatPackets = *npkts
 	p.SatWarmup = *nwarm
 	p.SatQueueFlits = *vcq
@@ -227,20 +233,26 @@ subcommands:
   saturate   closed-loop saturation sweep: per-VC ingress queues + credit
              backpressure, offered vs accepted throughput, auto-located
              saturation knee, 4 policies (incl. credit-echo) x 6 patterns
-  all        everything above except saturate (kept byte-stable across PRs)
+  mdsweep    closed-loop MD backpressure: real timestep traffic against
+             bounded per-VC queues, per routing policy x queue depth
+  all        everything above except saturate/mdsweep (kept byte-stable
+             across PRs)
 
 flags (after the subcommand):
   -jobs N    worker count; independent experiments run in parallel (0 = all cores)
-  -shards N  kernel shards per netsweep/saturate machine: one simulated
-             machine runs across N cores via conservative-lookahead parallel
+  -shards N  kernel shards per machine for netsweep/saturate cells and the
+             MD timestep jobs (fig9b, fig12, mdsweep): one simulated machine
+             runs across N cores via conservative-lookahead parallel
              simulation, byte-identical to -shards 1; default jobs = cores/N
-  -autoshard when a netsweep/saturate cell starts while the core budget
-             exceeds the runnable jobs, run it sharded across the spare
-             cores (byte-identical output; running cells never re-shard)
+  -autoshard when a shardable job (netsweep/saturate cell, fig9b, fig12,
+             mdsweep cell) starts while the core budget exceeds the runnable
+             jobs, run it sharded across the spare cores (byte-identical
+             output; running cells never re-shard)
   -json P    write the runner report (per-job rows and timings) to P
   -q         suppress the runner summary line on stderr
   -pairs, -atoms, -steps, -warm, -measure   experiment sizes (see -h)
   -shapes, -loads, -npkts, -nwarm           netsweep/saturate grid (see -h)
   -vcq N, -injq N                           saturate queue/window depths
+  -mdatoms N, -mdsteps N                    mdsweep cell size
   -cpuprofile P, -memprofile P              write pprof profiles of the run`)
 }

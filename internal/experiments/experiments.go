@@ -13,6 +13,7 @@ import (
 	"anton3/internal/machine"
 	"anton3/internal/md"
 	"anton3/internal/packet"
+	"anton3/internal/route"
 	"anton3/internal/serdes"
 	"anton3/internal/sim"
 	"anton3/internal/stats"
@@ -283,14 +284,17 @@ type Fig9bPoint struct {
 }
 
 // Fig9b measures application-level speedup from compression: timestep
-// pipeline time with compression off vs on, per atom count.
-func Fig9b(sizes []int, steps int) []Fig9bPoint {
+// pipeline time with compression off vs on, per atom count. shards runs
+// each machine across that many kernel shards (machine.Config.Shards);
+// output is byte-identical at every value, 0 or 1 is sequential.
+func Fig9b(sizes []int, steps, shards int) []Fig9bPoint {
 	var out []Fig9bPoint
 	for _, n := range sizes {
 		var offNs, onNs float64
 		for _, comp := range []serdes.CompressConfig{{}, {INZ: true, Pcache: true}} {
 			cfg := machine.DefaultConfig(Shape8)
 			cfg.Compress = comp
+			cfg.Shards = shards
 			m := machine.New(cfg)
 			sys := md.NewWater(n, 300, sim.NewRand(777))
 			e := machine.NewEngine(m, sys, machine.DefaultTimestepConfig())
@@ -399,12 +403,14 @@ type Fig12Result struct {
 }
 
 // Fig12 runs the paper's 32,751-atom water system on 8 nodes with
-// compression off and on, recording machine activity.
-func Fig12(atoms, steps int) Fig12Result {
+// compression off and on, recording machine activity. shards runs each
+// machine across that many kernel shards with byte-identical output.
+func Fig12(atoms, steps, shards int) Fig12Result {
 	res := Fig12Result{Atoms: atoms}
 	for _, comp := range []serdes.CompressConfig{{}, {INZ: true, Pcache: true}} {
 		cfg := machine.DefaultConfig(Shape8)
 		cfg.Compress = comp
+		cfg.Shards = shards
 		m := machine.New(cfg)
 		sys := md.NewWater(atoms, 300, sim.NewRand(777))
 		e := machine.NewEngine(m, sys, machine.DefaultTimestepConfig())
@@ -435,6 +441,84 @@ func (r Fig12Result) Render() string {
 		r.StepOffNs, r.PlotOff, r.SummaryOff)
 	fmt.Fprintf(&b, "\n(b) compression enabled — step %.0f ns (paper ~900 ns)\n%s%s",
 		r.StepOnNs, r.PlotOn, r.SummaryOn)
+	return b.String()
+}
+
+// -------------------------------------------------- MD backpressure sweep
+
+// MDQueueDepths are the per-VC ingress queue depths (flits) of the MD
+// backpressure sweep, deepest first. The first entry is the effectively
+// unbounded baseline every inflation percentage is measured against:
+// closed-loop with deep queues isolates the store-and-forward relay model
+// from actual credit starvation, so the shallower rows show pure
+// endpoint backpressure.
+var MDQueueDepths = []int{256, 16, 4}
+
+// MDSweepPoint is one (queue depth) cell of one policy's MD sweep.
+type MDSweepPoint struct {
+	Policy       string  `json:"policy"`
+	QueueFlits   int     `json:"queue_flits"`
+	StepNs       float64 `json:"step_ns"`
+	ParkedPos    int64   `json:"parked_positions"`
+	ParkedFrc    int64   `json:"parked_forces"`
+	InflationPct float64 `json:"inflation_pct"` // step-time inflation vs the deep baseline
+}
+
+// MDSweepPolicy runs real MD timesteps closed-loop against bounded per-VC
+// ingress queues under one routing policy, across MDQueueDepths. Where the
+// saturate grid measures synthetic knees, this measures what the actual
+// position-multicast and force-return phases of a timestep do to the same
+// flow-control machinery: how many injections the network refuses
+// (parked), and how much the step stretches when queues shrink. shards
+// runs each machine sharded with byte-identical output.
+func MDSweepPolicy(pol route.Policy, atoms, steps, shards int) []MDSweepPoint {
+	out := make([]MDSweepPoint, 0, len(MDQueueDepths))
+	var baseNs float64
+	for _, depth := range MDQueueDepths {
+		cfg := machine.DefaultConfig(Shape8)
+		cfg.Policy = pol
+		cfg.Shards = shards
+		cfg.VCQueueFlits = depth
+		m := machine.New(cfg)
+		sys := md.NewWater(atoms, 300, sim.NewRand(777))
+		e := machine.NewEngine(m, sys, machine.DefaultTimestepConfig())
+		var last machine.StepResult
+		var parkedPos, parkedFrc int64
+		for i := 0; i < steps; i++ {
+			last = e.RunStep()
+			parkedPos += last.ParkedPositions
+			parkedFrc += last.ParkedForces
+		}
+		pt := MDSweepPoint{
+			Policy:     pol.Name(),
+			QueueFlits: depth,
+			StepNs:     last.Duration.Nanoseconds(),
+			ParkedPos:  parkedPos,
+			ParkedFrc:  parkedFrc,
+		}
+		if baseNs == 0 {
+			baseNs = pt.StepNs
+		}
+		pt.InflationPct = 100 * (pt.StepNs/baseNs - 1)
+		out = append(out, pt)
+	}
+	return out
+}
+
+// RenderMDSweep formats one policy's depth sweep.
+func RenderMDSweep(atoms, steps int, pts []MDSweepPoint) string {
+	var b strings.Builder
+	if len(pts) == 0 {
+		return ""
+	}
+	fmt.Fprintf(&b, "MD backpressure: %s over %d-atom water, %d steps (8 nodes, closed loop)\n",
+		pts[0].Policy, atoms, steps)
+	fmt.Fprintf(&b, "%10s %12s %11s %12s %12s\n",
+		"vcq flits", "step ns", "inflation", "parked pos", "parked frc")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10d %12.0f %10.1f%% %12d %12d\n",
+			p.QueueFlits, p.StepNs, p.InflationPct, p.ParkedPos, p.ParkedFrc)
+	}
 	return b.String()
 }
 

@@ -69,7 +69,7 @@ func TestFig9aBands(t *testing.T) {
 }
 
 func TestFig9bSpeedupDirection(t *testing.T) {
-	pts := Fig9b([]int{sz(8000, 6000)}, 2)
+	pts := Fig9b([]int{sz(8000, 6000)}, 2, 1)
 	if pts[0].Speedup < 1.1 {
 		t.Errorf("speedup %.2f, want > 1.1", pts[0].Speedup)
 	}
@@ -97,7 +97,7 @@ func TestFig11MatchesPaper(t *testing.T) {
 
 func TestFig12SmallSystem(t *testing.T) {
 	// Full 32751-atom runs live in the benchmarks; keep the test fast.
-	r := Fig12(sz(6000, 4000), 2)
+	r := Fig12(sz(6000, 4000), 2, 1)
 	if r.StepOffNs <= r.StepOnNs {
 		t.Errorf("compression did not speed up the step: %.0f vs %.0f", r.StepOffNs, r.StepOnNs)
 	}

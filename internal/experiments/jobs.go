@@ -61,6 +61,18 @@ type Params struct {
 	// defaults (bandwidth-delay-product queues, 8-slot windows).
 	SatQueueFlits int
 	SatInjDepth   int
+
+	// MDShards shards each timestep-engine machine (fig9b, fig12, mdsweep)
+	// across that many kernels, the way NetShards does for netsweep.
+	// Output is byte-identical at every value; 0 or 1 is sequential.
+	MDShards int
+	// MDSweep gates the closed-loop MD backpressure grid (anton3 mdsweep):
+	// like Saturate, the jobs only join the registry when set, so the
+	// `all` output stream stays byte-identical to older trees.
+	MDSweep bool
+	// MDAtoms and MDSteps size each mdsweep cell.
+	MDAtoms int
+	MDSteps int
 }
 
 // DefaultParams returns the paper-scale configuration.
@@ -92,6 +104,9 @@ func DefaultParams() Params {
 		SatLoads:   []float64{0.5, 1, 2, 3, 4},
 		SatPackets: 96,
 		SatWarmup:  32,
+
+		MDAtoms: 8000,
+		MDSteps: 2,
 	}
 }
 
@@ -235,6 +250,78 @@ func saturateJobs(p Params) []runner.Job {
 	return jobs
 }
 
+// fig9bJob builds the compression-speedup job. The timestep engine runs on
+// the sharded executive with byte-identical output, so the job is
+// auto-shardable exactly like a netsweep cell: spare cores at dispatch
+// become kernel shards.
+func fig9bJob(p Params) runner.Job {
+	run := func(shards int) (runner.Output, error) {
+		pts := Fig9b(p.Fig9bSizes, p.Fig9bSteps, shards)
+		return runner.Output{Text: RenderFig9b(pts), Data: pts}, nil
+	}
+	job := runner.Job{Name: "fig9b", Seed: 4, Cost: 20,
+		Run: func(*sim.Rand) (runner.Output, error) {
+			return run(p.MDShards)
+		}}
+	if p.MDShards <= 1 {
+		job.ShardRun = func(_ *sim.Rand, shards int) (runner.Output, error) {
+			return run(shards)
+		}
+	}
+	return job
+}
+
+// fig12Job builds the activity-plot job, auto-shardable like fig9b.
+func fig12Job(p Params) runner.Job {
+	run := func(shards int) (runner.Output, error) {
+		r := Fig12(p.Fig12Atoms, p.Fig12Steps, shards)
+		return runner.Output{Text: r.Render(), Data: r}, nil
+	}
+	job := runner.Job{Name: "fig12", Seed: 6, Cost: 15,
+		Run: func(*sim.Rand) (runner.Output, error) {
+			return run(p.MDShards)
+		}}
+	if p.MDShards <= 1 {
+		job.ShardRun = func(_ *sim.Rand, shards int) (runner.Output, error) {
+			return run(shards)
+		}
+	}
+	return job
+}
+
+// mdsweepJobs registers the closed-loop MD backpressure grid: one job per
+// routing policy (the saturate quartet), each sweeping the per-VC queue
+// depths over real MD timesteps. Every cell pre-draws its randomness from
+// the water seed alone, so the grid decomposes freely across workers and
+// shards with byte-identical output, and cells auto-shard like netsweep
+// cells.
+func mdsweepJobs(p Params) []runner.Job {
+	var jobs []runner.Job
+	for pi, pol := range route.SaturatePolicies() {
+		pol := pol
+		run := func(shards int) (runner.Output, error) {
+			pts := MDSweepPolicy(pol, p.MDAtoms, p.MDSteps, shards)
+			return runner.Output{Text: RenderMDSweep(p.MDAtoms, p.MDSteps, pts), Data: pts}, nil
+		}
+		job := runner.Job{
+			Name: fmt.Sprintf("mdsweep/%s", pol.Name()),
+			Seed: uint64(9500 + pi),
+			// Each cell runs len(MDQueueDepths) full timestep pipelines
+			// at the fig9b 8000-atom scale.
+			Cost: 10,
+			Run: func(*sim.Rand) (runner.Output, error) {
+				return run(p.MDShards)
+			}}
+		if p.MDShards <= 1 {
+			job.ShardRun = func(_ *sim.Rand, shards int) (runner.Output, error) {
+				return run(shards)
+			}
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs
+}
+
 // Jobs returns every table, figure and ablation of the paper as runner
 // jobs, in the order cmd/anton3 has always printed them, followed by the
 // netsweep policy/pattern grid. Each job owns a private machine and
@@ -260,19 +347,11 @@ func Jobs(p Params) []runner.Job {
 				pts := Fig9a(p.Fig9aSizes, p.Fig9aWarm, p.Fig9aMeasure)
 				return runner.Output{Text: RenderFig9a(pts), Data: pts}, nil
 			}},
-		runner.Job{Name: "fig9b", Seed: 4, Cost: 20,
-			Run: func(*sim.Rand) (runner.Output, error) {
-				pts := Fig9b(p.Fig9bSizes, p.Fig9bSteps)
-				return runner.Output{Text: RenderFig9b(pts), Data: pts}, nil
-			}},
+		fig9bJob(p),
 	)
 	jobs = append(jobs, fig11Jobs()...)
 	jobs = append(jobs,
-		runner.Job{Name: "fig12", Seed: 6, Cost: 15,
-			Run: func(*sim.Rand) (runner.Output, error) {
-				r := Fig12(p.Fig12Atoms, p.Fig12Steps)
-				return runner.Output{Text: r.Render(), Data: r}, nil
-			}},
+		fig12Job(p),
 		runner.Job{Name: "ablation-predictor-order", Seed: 7, Cost: 2,
 			Run: func(*sim.Rand) (runner.Output, error) {
 				rows := AblationPredictorOrder(p.AblPredictorAtoms, 3, 3)
@@ -317,6 +396,9 @@ func Jobs(p Params) []runner.Job {
 	jobs = append(jobs, netsweepJobs(p)...)
 	if p.Saturate {
 		jobs = append(jobs, saturateJobs(p)...)
+	}
+	if p.MDSweep {
+		jobs = append(jobs, mdsweepJobs(p)...)
 	}
 	return jobs
 }

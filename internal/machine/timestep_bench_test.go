@@ -1,0 +1,68 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"anton3/internal/md"
+	"anton3/internal/sim"
+	"anton3/internal/topo"
+)
+
+// BenchmarkTimestepShards measures the MD timestep engine on the
+// conservative-lookahead parallel executive: one 8000-atom water cell on
+// an 8-node machine, stepped at 1, 2 and 4 kernel shards. Step results are
+// byte-identical across the sub-benchmarks (the shard-invariance tests pin
+// that); only the wall clock moves. The CI bench lane commits the results
+// as BENCH_md.json, where the shards=1 to shards=4 ns/op ratio is the
+// multicore speedup of simulating one machine's MD traffic.
+func BenchmarkTimestepShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := DefaultConfig(topo.Shape{X: 2, Y: 2, Z: 2})
+			cfg.Shards = shards
+			m := New(cfg)
+			sys := md.NewWater(8000, 300, sim.NewRand(21))
+			e := NewEngine(m, sys, DefaultTimestepConfig())
+			e.RunStep() // warm pools, plan buffers and kernel event heaps
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.RunStep()
+			}
+		})
+	}
+}
+
+// BenchmarkMDBackpressure runs the same cell closed-loop against bounded
+// per-VC ingress queues — the cmd/anton3 mdsweep inner loop — and reports
+// what the flow control did to the step as custom metrics: the simulated
+// step duration (sim_ns_per_step) and the injections the network refused
+// at least once (parked_pos, parked_frc). The committed BENCH_md.json rows
+// track the MD backpressure knee over time next to the synthetic knees in
+// BENCH_saturation.json: the 16-flit row is past the knee (parking begins),
+// the 4-flit row is deep in it.
+func BenchmarkMDBackpressure(b *testing.B) {
+	for _, depth := range []int{256, 16, 4} {
+		b.Run(fmt.Sprintf("vcq=%d", depth), func(b *testing.B) {
+			cfg := DefaultConfig(topo.Shape{X: 2, Y: 2, Z: 2})
+			cfg.VCQueueFlits = depth
+			m := New(cfg)
+			sys := md.NewWater(8000, 300, sim.NewRand(777))
+			e := NewEngine(m, sys, DefaultTimestepConfig())
+			e.RunStep()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res StepResult
+			var parkedPos, parkedFrc int64
+			for i := 0; i < b.N; i++ {
+				res = e.RunStep()
+				parkedPos += res.ParkedPositions
+				parkedFrc += res.ParkedForces
+			}
+			b.ReportMetric(res.Duration.Nanoseconds(), "sim_ns_per_step")
+			b.ReportMetric(float64(parkedPos)/float64(b.N), "parked_pos")
+			b.ReportMetric(float64(parkedFrc)/float64(b.N), "parked_frc")
+		})
+	}
+}

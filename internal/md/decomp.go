@@ -156,9 +156,10 @@ func MulticastEdges(shape topo.Shape, home topo.Coord, targets []topo.Coord, plu
 		}
 		return false
 	}
+	var pathBuf [24]topo.Step
 	for _, t := range targets {
 		cur := home
-		for _, st := range topo.RouteTie(shape, home, t, topo.OrderXYZ, plusOnTie) {
+		for _, st := range topo.AppendRouteTie(pathBuf[:0], shape, home, t, topo.OrderXYZ, plusOnTie) {
 			e := ChannelEdge{From: cur, Step: st}
 			if !have(e) {
 				out = append(out, e)

@@ -223,6 +223,14 @@ func RunEmitOpts(jobs []Job, workers int, opts Options, emit func(Result)) (Repo
 	// promotion is evaluated at each job's start rather than once at
 	// startup.
 	dispatched, closed, inFlight := 0, false, 0
+	// Core accounting for auto-shard promotion: a promoted job holds
+	// `shards` cores until it completes, not one, so the spare-capacity
+	// check counts cores in flight (busyCores), never just jobs. Without
+	// this, back-to-back promotions each see the previous promoted job as
+	// one core and a 3-job queue on an 8-core budget dispatches 12 shard
+	// goroutines.
+	busyCores := 0
+	coresOf := make([]int, len(jobs))
 	var pendingQ []int
 	fill := func() {
 		for len(pendingQ) > 0 && inFlight < workers {
@@ -233,13 +241,15 @@ func RunEmitOpts(jobs []Job, workers int, opts Options, emit func(Result)) (Repo
 			// gets a core goes to this job as extra kernel shards. The
 			// promotion spends idle cores, never contends for busy ones.
 			if opts.AutoShard && jobs[idx].ShardRun != nil {
-				if spare := capacity - inFlight - 1 - len(pendingQ); spare >= 3 {
+				if spare := capacity - busyCores - 1 - len(pendingQ); spare >= 3 {
 					w.shards = 4
 				} else if spare >= 1 {
 					w.shards = 2
 				}
 			}
 			inFlight++
+			busyCores += w.shards
+			coresOf[idx] = w.shards
 			next <- w
 			dispatched++
 		}
@@ -261,6 +271,7 @@ func RunEmitOpts(jobs []Job, workers int, opts Options, emit func(Result)) (Repo
 	for range jobs {
 		idx := <-done
 		inFlight--
+		busyCores -= coresOf[idx]
 		completed[idx] = true
 		var unblocked []int
 		for _, d := range dependents[idx] {

@@ -380,4 +380,21 @@ func TestAutoShardPromotesLongPole(t *testing.T) {
 	if granted["pole"] != 1 {
 		t.Fatalf("ShardRun used without AutoShard (granted %d)", granted["pole"])
 	}
+
+	// Promotion accounts cores, not jobs: three shardable jobs on an
+	// 8-core budget dispatch together, and the granted shard counts must
+	// sum to at most the budget (the first promotion holds 4 cores, so
+	// later dispatches see less spare — not 4+4+4=12 goroutines).
+	granted = map[string]int{}
+	jobs = []Job{mk("a", 3, true), mk("b", 2, true), mk("c", 1, true)}
+	if _, err := RunEmitOpts(jobs, 8, Options{AutoShard: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if total := granted["a"] + granted["b"] + granted["c"]; total > 8 {
+		t.Fatalf("3 jobs on 8 cores granted %d total shards (a=%d b=%d c=%d), budget 8",
+			total, granted["a"], granted["b"], granted["c"])
+	}
+	if granted["a"] != 4 {
+		t.Fatalf("most expensive job granted %d shards, want 4", granted["a"])
+	}
 }

@@ -134,6 +134,19 @@ func (x *ParallelExec) Run() Time {
 			last = k.lastAt
 		}
 	}
+	// Align every kernel clock to the last executed event. RunUntil leaves a
+	// drained kernel at its window deadline, which depends on the window
+	// geometry (and therefore the shard count); callers that chain phases
+	// with `Now()` — the timestep engine starts step N+1 at the clock step N
+	// ended on — need the post-run clock to be the sequential kernel's:
+	// the timestamp of the last event, exactly what Kernel.Run leaves
+	// behind. Safe to force in both directions: every kernel has drained,
+	// every outbox is empty, and last >= every kernel's own lastAt, so no
+	// executed event lies beyond the clock and nothing can schedule into
+	// the past.
+	for _, k := range x.ks {
+		k.now = last
+	}
 	return last
 }
 

@@ -38,6 +38,38 @@ func (r *Recorder) Add(track string, start, end sim.Time) {
 	r.tracks[track] = append(r.tracks[track], interval{start, end})
 }
 
+// Touch registers track without recording anything, pinning its position
+// in the rendering order ahead of first use. Harnesses that merge several
+// recorders (one per machine shard) touch their columns up front so the
+// layout never depends on which shard's intervals merge first.
+func (r *Recorder) Touch(track string) {
+	if _, ok := r.tracks[track]; ok {
+		return
+	}
+	r.order = append(r.order, track)
+	r.tracks[track] = nil
+}
+
+// DrainInto moves every interval of r into dst and leaves r empty but with
+// its track registrations and slice capacity intact — the reduction step
+// for per-shard recorders, run after the shard kernels have drained.
+// Interval order within a track depends on the merge order, which no
+// consumer observes: Utilization, Span and Render are order-independent
+// sums and extrema.
+func (r *Recorder) DrainInto(dst *Recorder) {
+	for _, t := range r.order {
+		ivs := r.tracks[t]
+		if len(ivs) == 0 {
+			continue
+		}
+		if _, ok := dst.tracks[t]; !ok {
+			dst.order = append(dst.order, t)
+		}
+		dst.tracks[t] = append(dst.tracks[t], ivs...)
+		r.tracks[t] = ivs[:0]
+	}
+}
+
 // Tracks lists track names in first-use order.
 func (r *Recorder) Tracks() []string { return append([]string(nil), r.order...) }
 
