@@ -36,12 +36,16 @@ alloc-gate:
 	$(GO) test -run 'AllocFree|TimestepAllocBudget' -count=1 ./internal/machine ./internal/synth ./internal/flow
 
 # The CI bench lane: every paper artifact once, the hot-path micro-bench
-# report (BENCH_hotpath.json: ns/op + allocs/op per PR), the shard-scaling
-# report, the saturation report, then a full parallel `all` run refreshing
-# BENCH_runner.json.
+# report (BENCH_hotpath.json: ns/op + allocs/op per PR, gated against the
+# committed copy — a SendHotPath regression >10% fails the lane), the
+# shard-scaling report, the saturation report, then a full parallel `all`
+# run refreshing BENCH_runner.json. The fresh hotpath JSON lands in a temp
+# file first so the committed baseline survives a failed gate for
+# diagnosis (and isn't truncated before benchjson reads it).
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
-	$(GO) test -run '^$$' -bench 'SendHotPath|SendResponseHotPath|Netsweep$$' -benchmem -count=1 ./internal/machine ./internal/synth | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
+	$(GO) test -run '^$$' -bench 'SendHotPath|SendResponseHotPath|Netsweep$$' -benchmem -count=1 ./internal/machine ./internal/synth | $(GO) run ./cmd/benchjson -gate BENCH_hotpath.json -gate-bench SendHotPath > BENCH_hotpath.json.tmp
+	mv BENCH_hotpath.json.tmp BENCH_hotpath.json
 	$(MAKE) bench-parallel
 	$(MAKE) bench-saturate
 	$(MAKE) bench-md

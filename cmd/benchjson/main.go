@@ -5,11 +5,21 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson > BENCH.json
+//
+// With -gate, the fresh results are additionally compared against a
+// committed baseline report, and the run fails (exit 1, after still
+// writing the fresh JSON) if any baseline bench whose name contains
+// -gate-bench got slower than ns_per_op x -gate-factor. CI runs the
+// hot-path lane through this so a SendHotPath regression >10% cannot land
+// with a green build:
+//
+//	... | go run ./cmd/benchjson -gate BENCH_hotpath.json -gate-bench SendHotPath > new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -37,6 +47,11 @@ type Report struct {
 }
 
 func main() {
+	gateFile := flag.String("gate", "", "committed baseline report to gate against")
+	gateBench := flag.String("gate-bench", "SendHotPath", "substring selecting which baseline benches are gated")
+	gateFactor := flag.Float64("gate-factor", 1.10, "fail if fresh ns_per_op exceeds baseline x this factor")
+	flag.Parse()
+
 	var rep Report
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -72,6 +87,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *gateFile != "" && !gate(rep, *gateFile, *gateBench, *gateFactor) {
+		os.Exit(1)
+	}
+}
+
+// gate compares the fresh report against the committed baseline and
+// reports whether every gated bench is within factor of its baseline
+// ns_per_op. A gated baseline bench missing from the fresh run fails too
+// (a rename must not silently disarm the gate); a baseline file that does
+// not exist yet passes, so the gate bootstraps on a fresh clone.
+func gate(fresh Report, file, bench string, factor float64) bool {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchjson: gate baseline %s missing, skipping gate\n", file)
+			return true
+		}
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return false
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: gate baseline %s: %v\n", file, err)
+		return false
+	}
+	cur := make(map[string]float64, len(fresh.Benches))
+	for _, b := range fresh.Benches {
+		cur[b.Name] = b.NsPerOp
+	}
+	ok := true
+	for _, b := range base.Benches {
+		if !strings.Contains(b.Name, bench) || b.NsPerOp <= 0 {
+			continue
+		}
+		got, have := cur[b.Name]
+		if !have {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %s in baseline but not in fresh results\n", b.Name)
+			ok = false
+			continue
+		}
+		if limit := b.NsPerOp * factor; got > limit {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %s regressed: %.1f ns/op vs committed %.1f (limit %.1f)\n",
+				b.Name, got, b.NsPerOp, limit)
+			ok = false
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %s ok: %.1f ns/op vs committed %.1f (limit %.1f)\n",
+				b.Name, got, b.NsPerOp, limit)
+		}
+	}
+	return ok
 }
 
 // parseBench reads lines of the form

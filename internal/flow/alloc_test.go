@@ -34,6 +34,36 @@ func TestSaturatePointAllocFree(t *testing.T) {
 	}
 }
 
+// TestShardedSaturatePointAllocFree extends the steady-state gate to the
+// sharded credit path: lineage-tracked credit messages crossing shard
+// boundaries through the window outboxes, parked-packet revivals from
+// foreign events, and the per-window batch drains all recycle through
+// per-shard free lists (rebalanced between runs), so a warmed sharded
+// closed-loop point allocates nothing. Tornado traffic is directional, so
+// the per-shard pools drain asymmetrically mid-run — the hardest case for
+// the free-list rebalancing; the warmup loop is long enough for the pool
+// totals to grow to every shard's peak demand.
+func TestShardedSaturatePointAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	pat := synth.Tornado()
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			h := NewHarness(topo.Shape{X: 4, Y: 4, Z: 8}, route.Random(), shards, 0, 0)
+			point := func() {
+				h.RunPoint(pat, 2, 16, 4, 7)
+			}
+			for i := 0; i < 16; i++ {
+				point()
+			}
+			if n := testing.AllocsPerRun(5, point); n != 0 {
+				t.Fatalf("sharded saturate point allocates %.1f times/op in steady state, want 0", n)
+			}
+		})
+	}
+}
+
 // BenchmarkSaturatePoint times one closed-loop cell (128 nodes, tornado at
 // 2x the knee, random policy) in sweep steady state on the reused machine,
 // exactly as anton3 saturate runs one offered-load point.

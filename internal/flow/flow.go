@@ -97,6 +97,10 @@ type Harness struct {
 	entered   []int64
 	lastEntry []sim.Time
 	all       []float64
+
+	// PointsRun counts RunPoint calls over the harness's lifetime; the
+	// knee-search tests use it to pin the probe budget.
+	PointsRun int
 }
 
 // NewHarness builds the closed-loop measurement machine: compression off
@@ -263,6 +267,7 @@ func (h *Harness) RunPoint(pat synth.Pattern, load float64, packets, warmup int,
 	if load <= 0 || packets <= 0 {
 		panic("flow: load and packet count must be positive")
 	}
+	h.PointsRun++
 	if scale := math.Max(1, load); scale > 1 {
 		packets = int(math.Ceil(float64(packets) * scale))
 		warmup = int(math.Ceil(float64(warmup) * scale))

@@ -1,0 +1,46 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"anton3/internal/route"
+	"anton3/internal/synth"
+	"anton3/internal/topo"
+)
+
+// TestKneeBracketProbeBudget pins the geometric bracket stage's probe
+// budget: when no swept load saturated, the first saturated rung of the
+// doubling ladder (or the proof that none exists) costs exactly
+// ceil(log2(kneeDoublings+1)) probes — the log-space binary search — not
+// the one-probe-per-rung bottom-up walk it replaced. The lower-bound value
+// itself must be the ladder top, the same load the exhausted walk
+// reported.
+func TestKneeBracketProbeBudget(t *testing.T) {
+	shape := topo.Shape{X: 2, Y: 2, Z: 2}
+	pat := synth.Uniform()
+	h := NewHarness(shape, route.XYZ(), 1, 0, 0)
+	packets, warmup := 8, 2
+	loads := []float64{0.02, 0.04}
+	var pts []Point
+	for li, load := range loads {
+		pts = append(pts, h.RunPoint(pat, load, packets, warmup, 21+uint64(li)*9176))
+	}
+	for _, pt := range pts {
+		if Saturated(pt) {
+			t.Fatalf("load %.3f saturated; the test needs an all-unsaturated sweep", pt.Load)
+		}
+	}
+	before := h.PointsRun
+	knee, lb := findKnee(h, pat, pts, packets, warmup, 21)
+	probes := h.PointsRun - before
+	if !lb {
+		t.Fatalf("expected a knee lower bound, got located knee %.3f", knee)
+	}
+	if want := math.Ldexp(loads[len(loads)-1], kneeDoublings); knee != want {
+		t.Fatalf("knee lower bound %.3f, want ladder top %.3f", knee, want)
+	}
+	if probes != 2 {
+		t.Fatalf("bracket stage ran %d probes, want 2 (log-space search of the %d-rung ladder)", probes, kneeDoublings)
+	}
+}

@@ -48,10 +48,20 @@ func probeSeed(seed uint64, load float64) uint64 {
 	return seed ^ 0x73617475726174 ^ x // "saturat"
 }
 
-// findKnee bisects for the saturation knee given the swept points. The
-// bracket comes from the sweep (last unsaturated, first saturated load);
-// if nothing saturated, the upper edge doubles up to kneeDoublings times
-// before the search gives up and reports a lower bound.
+// findKnee locates the saturation knee given the swept points: a coarse
+// geometric bracket stage followed by bisection. The bracket comes from
+// the sweep (last unsaturated, first saturated load); if nothing swept
+// saturated, the knee — if reachable at all — lies on the doubling ladder
+// lo*2^1 .. lo*2^kneeDoublings, and the bracket stage binary-searches the
+// ladder in log space instead of walking it bottom-up. The bottom-up walk
+// spent one probe per rung and maxed out (kneeDoublings probes) exactly on
+// the hardest-to-saturate cells; the log-space search pins the first
+// saturated rung (or proves there is none) in ceil(log2(kneeDoublings+1))
+// probes. Saturation is monotone in offered load, so the rung found is the
+// same one the walk would have found — each probe load draws its own seed
+// from the load value alone, the ladder rungs are exact power-of-two
+// multiples, and the bisection stage then runs on an identical bracket:
+// knee values are bit-for-bit unchanged, only the probe count drops.
 func findKnee(h *Harness, pat synth.Pattern, pts []Point, packets, warmup int, seed uint64) (float64, bool) {
 	probe := func(load float64) bool {
 		return Saturated(h.RunPoint(pat, load, packets, warmup, probeSeed(seed, load)))
@@ -68,20 +78,26 @@ func findKnee(h *Harness, pat synth.Pattern, pts []Point, packets, warmup int, s
 		lo = pt.Load
 	}
 	if hi == 0 {
-		// Nothing swept saturated: expand the upper edge by doubling.
-		hi = 2 * lo
-		found := false
-		for i := 0; i < kneeDoublings; i++ {
-			if probe(hi) {
-				found = true
-				break
+		// Geometric bracket stage: find the first saturated rung
+		// base*2^r, r in 1..kneeDoublings, by log-space binary search.
+		base := lo
+		first := -1
+		loR, hiR := 1, kneeDoublings
+		for loR <= hiR {
+			mid := (loR + hiR) / 2
+			if probe(math.Ldexp(base, mid)) {
+				first = mid
+				hiR = mid - 1
+			} else {
+				loR = mid + 1
 			}
-			lo = hi
-			hi *= 2
 		}
-		if !found {
-			return lo, true
+		if first < 0 {
+			// The whole ladder ran unsaturated: report its top as a
+			// lower bound, as the exhausted bottom-up walk always did.
+			return math.Ldexp(base, kneeDoublings), true
 		}
+		lo, hi = math.Ldexp(base, first-1), math.Ldexp(base, first)
 	}
 	for i := 0; i < KneeIters; i++ {
 		mid := (lo + hi) / 2

@@ -147,6 +147,7 @@ func (n *Node) relayFence(id, r int) {
 			p.FenceHops = r
 			p.Walker = m
 			p.Cur = dstCoord
+			p.CurIdx = m.neigh[int(n.idx)*chip.NumChannelSpecs+cs.Index()]
 			p.In = in
 			p.State = packet.WalkArrive
 			if m.lineage {

@@ -106,6 +106,29 @@ type Machine struct {
 	vcqFlits int                // Config.VCQueueFlits, cached for the per-hop path
 	specs    []chip.ChannelSpec // the shape's channel specs, in dense-index order
 
+	// Flat hot-path tables (structure-of-arrays over the dense node index x
+	// dense channel-spec index): neigh holds each hop's destination node
+	// index, cross whether the hop traverses the dimension's wraparound
+	// link (the dateline VC rule), and chanBank the channel objects
+	// themselves in one contiguous array — Node.out points into it. oppIdx
+	// maps a spec index to its receiver-side (opposite-direction) index.
+	neigh    []int32
+	cross    []bool
+	chanBank []serdes.Channel
+	oppIdx   [chip.NumChannelSpecs]int8
+
+	// Precomputed queuing-free geometry latencies, so the per-hop walk does
+	// no cycle arithmetic: injLat/ejLat by (chip tile index x spec),
+	// transLat by (inbound spec x outbound spec, same-side pairs only).
+	injLat   []sim.Time
+	ejLat    []sim.Time
+	transLat [chip.NumChannelSpecs][chip.NumChannelSpecs]sim.Time
+
+	// vcq is the machine-level per-VC flow-control state (nil unless
+	// Config.VCQueueFlits > 0): credit counters, queue occupancies and
+	// FIFOs for every (node, channel, VC), in flat arrays.
+	vcq *vcqState
+
 	// pool aliases shard 0's — the single-shard engines (timestep, GC
 	// endpoint ops) use it directly after requireSingleShard.
 	pool *packet.Pool
@@ -121,6 +144,7 @@ type Node struct {
 	m     *Machine
 	sh    *mshard // the shard that owns this node's events
 	Coord topo.Coord
+	idx   int32                                 // dense node index (topo.Shape.Index of Coord)
 	out   [chip.NumChannelSpecs]*serdes.Channel // nil where the shape has no channel
 	srams []*mem.SRAM                           // per GC index; entries allocated lazily
 	// specPos maps a dense spec index to the spec's position in the
@@ -129,7 +153,10 @@ type Node struct {
 	specPos [chip.NumChannelSpecs]int8
 	fences  [fence.MaxConcurrent]*fenceOp
 	views   [chip.Slices]nodeLoadView
-	vcq     *nodeVCQ // per-VC flow control state; nil unless Config.VCQueueFlits > 0
+	// vcqViews are the per-slice credit-lookahead load views handed to
+	// credit-steered policies; nil unless Config.VCQueueFlits > 0 (the
+	// flow-control state itself lives in the machine's flat vcq arrays).
+	vcqViews *[chip.Slices]creditLoadView
 }
 
 // shardSeed derives shard s's rng seed. Shard 0 uses the configured seed
@@ -207,6 +234,15 @@ func New(cfg Config) *Machine {
 		Compress:     cfg.Compress,
 	}
 	m.nodes = make([]*Node, nNodes)
+	m.chanBank = make([]serdes.Channel, nNodes*chip.NumChannelSpecs)
+	m.neigh = make([]int32, nNodes*chip.NumChannelSpecs)
+	m.cross = make([]bool, nNodes*chip.NumChannelSpecs)
+	for j := range m.oppIdx {
+		m.oppIdx[j] = int8(chip.ChannelSpecAt(j).Opposite().Index())
+	}
+	if m.vcqFlits > 0 {
+		m.vcq = newVCQState(nNodes)
+	}
 	shard := 0
 	for i := range m.nodes {
 		for m.shards[shard].hi <= i {
@@ -216,27 +252,37 @@ func New(cfg Config) *Machine {
 			m:     m,
 			sh:    m.shards[shard],
 			Coord: cfg.Shape.CoordOf(i),
+			idx:   int32(i),
 			srams: make([]*mem.SRAM, gcs),
 		}
 		for j := range n.specPos {
 			n.specPos[j] = -1
 		}
 		for pos, cs := range m.specs {
-			n.out[cs.Index()] = serdes.NewChannel(n.sh.k, chCfg)
-			n.specPos[cs.Index()] = int8(pos)
+			j := cs.Index()
+			ch := &m.chanBank[i*chip.NumChannelSpecs+j]
+			ch.Init(n.sh.k, chCfg)
+			n.out[j] = ch
+			n.specPos[j] = int8(pos)
+			nb := cfg.Shape.Neighbor(n.Coord, cs.Dim, cs.Dir)
+			m.neigh[i*chip.NumChannelSpecs+j] = int32(cfg.Shape.Index(nb))
+			m.cross[i*chip.NumChannelSpecs+j] =
+				(cs.Dir > 0 && nb.Get(cs.Dim) < n.Coord.Get(cs.Dim)) ||
+					(cs.Dir < 0 && nb.Get(cs.Dim) > n.Coord.Get(cs.Dim))
 		}
 		for sl := range n.views {
 			n.views[sl] = nodeLoadView{n: n, slice: sl}
 		}
 		if m.vcqFlits > 0 {
-			n.vcq = &nodeVCQ{}
-			for sl := range n.vcq.views {
-				n.vcq.views[sl] = creditLoadView{n: n, slice: sl}
+			n.vcqViews = new([chip.Slices]creditLoadView)
+			for sl := range n.vcqViews {
+				n.vcqViews[sl] = creditLoadView{n: n, slice: sl}
 			}
 			n.resetVCQ(m.vcqFlits)
 		}
 		m.nodes[i] = n
 	}
+	m.buildLatencyTables()
 	// Channels whose far end lives on another shard defer arrivals to the
 	// executive's outboxes; everything else schedules locally.
 	if m.exec != nil {
@@ -251,6 +297,36 @@ func New(cfg Config) *Machine {
 	}
 	return m
 }
+
+// buildLatencyTables precomputes the queuing-free geometry latencies the
+// per-hop walk needs, so steady-state packet stepping reads a table entry
+// instead of redoing tile/edge-row cycle math: inject and eject per (chip
+// tile, channel spec), transit per same-side (inbound, outbound) spec pair.
+func (m *Machine) buildLatencyTables() {
+	tiles := m.Geom.Shape.Tiles()
+	m.injLat = make([]sim.Time, tiles*chip.NumChannelSpecs)
+	m.ejLat = make([]sim.Time, tiles*chip.NumChannelSpecs)
+	for t := 0; t < tiles; t++ {
+		core := packet.CoreID{Tile: m.Geom.Shape.CoordOf(t)}
+		for j := 0; j < chip.NumChannelSpecs; j++ {
+			cs := chip.ChannelSpecAt(j)
+			m.injLat[t*chip.NumChannelSpecs+j] = m.Geom.InjectLatency(core, cs)
+			m.ejLat[t*chip.NumChannelSpecs+j] = m.Geom.EjectLatency(cs, core)
+		}
+	}
+	for in := 0; in < chip.NumChannelSpecs; in++ {
+		for out := 0; out < chip.NumChannelSpecs; out++ {
+			a, b := chip.ChannelSpecAt(in), chip.ChannelSpecAt(out)
+			if a.Side() == b.Side() {
+				m.transLat[in][out] = m.Geom.TransitLatency(a, b)
+			}
+		}
+	}
+}
+
+// tileIdx is the dense chip-tile index of a core, the row key of the
+// inject/eject latency tables.
+func (m *Machine) tileIdx(c packet.CoreID) int { return m.Geom.Shape.Index(c.Tile) }
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -280,6 +356,11 @@ func (m *Machine) ShardOf(c topo.Coord) int { return m.Node(c).sh.id }
 // the machine's one kernel on single-shard machines. Harnesses schedule
 // per-node setup events (traffic injections) here.
 func (m *Machine) NodeKernel(c topo.Coord) *sim.Kernel { return m.Node(c).sh.k }
+
+// ShardKernel returns shard s's kernel (shard 0 is the machine's one
+// kernel on single-shard machines). Harnesses that bulk-stage setup events
+// via Kernel.StageActor seal every shard's staged lane through this.
+func (m *Machine) ShardKernel(s int) *sim.Kernel { return m.shards[s].k }
 
 // nextPktID hands out packet IDs for single-shard engine paths.
 func (m *Machine) nextPktID() uint64 { return m.shards[0].nextPktID() }
@@ -381,6 +462,64 @@ func (m *Machine) Reset(seed uint64) {
 		n.resetVCQ(m.vcqFlits)
 	}
 	m.fenceAlloc = fence.Allocator{}
+	m.rebalanceFreeLists()
+}
+
+// rebalanceFreeLists evens the per-shard packet pools and credit-message
+// free lists. Packets and credits recycle into the free list of the shard
+// that fired them, so cross-shard traffic makes the lists drift run over
+// run; left alone the drift compounds until some shard's Get allocates
+// every run while another hoards idle capacity. Reset levels them so a
+// reused sharded machine stays allocation-free in steady state.
+func (m *Machine) rebalanceFreeLists() {
+	ns := len(m.shards)
+	if ns < 2 {
+		return
+	}
+	total := 0
+	for _, sh := range m.shards {
+		total += sh.pool.Size()
+	}
+	target := total / ns
+	d := 0
+	for _, src := range m.shards {
+		for src.pool.Size() > target {
+			for d < ns && m.shards[d].pool.Size() >= target {
+				d++
+			}
+			if d == ns {
+				break
+			}
+			dst := m.shards[d]
+			src.pool.MoveTo(&dst.pool, min(src.pool.Size()-target, target-dst.pool.Size()))
+		}
+		if d == ns {
+			break
+		}
+	}
+	total = 0
+	for _, sh := range m.shards {
+		total += len(sh.creds)
+	}
+	target = total / ns
+	d = 0
+	for _, src := range m.shards {
+		for len(src.creds) > target {
+			for d < ns && len(m.shards[d].creds) >= target {
+				d++
+			}
+			if d == ns {
+				return
+			}
+			dst := m.shards[d]
+			for len(src.creds) > target && len(dst.creds) < target {
+				i := len(src.creds) - 1
+				dst.creds = append(dst.creds, src.creds[i])
+				src.creds[i] = nil
+				src.creds = src.creds[:i]
+			}
+		}
+	}
 }
 
 // requireSingleShard guards engines whose coordination state (shared

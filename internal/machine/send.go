@@ -4,6 +4,7 @@ import (
 	"anton3/internal/chip"
 	"anton3/internal/packet"
 	"anton3/internal/route"
+	"anton3/internal/sim"
 	"anton3/internal/topo"
 )
 
@@ -36,6 +37,12 @@ func (m *Machine) sliceFor(p *packet.Packet) int {
 // machine draws nothing for them, which is how sharded harnesses keep the
 // rng stream independent of event execution order.
 //
+// For oblivious policies (and all responses) the whole hop sequence is a
+// pure function of (src, dst, order, tie), so Send expands it once into
+// p.Route — dense channel-spec indices the walk consumes one table read
+// per hop — instead of re-deriving torus deltas at every hop. Adaptive
+// policies keep the per-hop decision (they need the live load view).
+//
 // The walk is iterative, not a chain of scheduled closures: the per-hop
 // state (current node, chosen channel, slice, tie-break) lives in the
 // packet, every timing event fires the packet itself, and OnPacket
@@ -53,7 +60,9 @@ func (m *Machine) sliceFor(p *packet.Packet) int {
 // p.SrcNode (an injection actor scheduled via NodeKernel, or a delivery at
 // that node); every kernel interaction below is with that shard.
 func (m *Machine) Send(p *packet.Packet, done packet.Deliverer) {
-	sh := m.Node(p.SrcNode).sh
+	srcIdx := m.cfg.Shape.Index(p.SrcNode)
+	n := m.nodes[srcIdx]
+	sh := n.sh
 	p.ID = sh.nextPktID()
 	p.Injected = sh.k.Now()
 	p.Walker = m
@@ -63,11 +72,12 @@ func (m *Machine) Send(p *packet.Packet, done packet.Deliverer) {
 		// (Pool.Put clears it), so an injected packet's chain starts here;
 		// a response built in apply carries its request's chain and this
 		// append adds the applying event — the response's true scheduler.
-		p.Hist = append(p.Hist, sh.k.Now())
+		p.PushHist(sh.k.Now())
 	}
 
 	if p.SrcNode == p.DstNode {
 		p.Cur = p.DstNode
+		p.CurIdx = int32(srcIdx)
 		p.In = -1
 		p.State = packet.WalkApply
 		sh.k.AfterActor(m.Geom.OnChipLatency(p.SrcCore, p.DstCore), p)
@@ -87,28 +97,112 @@ func (m *Machine) Send(p *packet.Packet, done packet.Deliverer) {
 		p.Tie = tie
 	}
 
+	p.Cur = p.SrcNode
+	p.CurIdx = int32(srcIdx)
+	p.In = -1
+	m.planRoute(p)
 	first, ok := m.nextStep(p, p.SrcNode)
 	if !ok {
 		panic("machine: inter-node packet with no first hop")
 	}
-	p.Cur = p.SrcNode
-	p.In = -1
 	if m.vcqFlits > 0 {
 		// Per-VC flow control: the first hop needs downstream credits, and
 		// a refused packet parks (packet.WalkParked) until they arrive.
-		m.sendFlow(p, m.Node(p.SrcNode), first)
+		m.sendFlow(p, n, first)
 		return
 	}
 	out := chip.ChannelSpec{Dim: first.Dim, Dir: first.Dir, Slice: int(p.Slice)}
-	p.Out = int8(out.Index())
+	idx := out.Index()
+	p.Out = int8(idx)
 	p.State = packet.WalkTransit
-	sh.k.AfterActor(m.Geom.InjectLatency(p.SrcCore, out), p)
+	if p.RouteLen >= 0 {
+		p.RoutePos = 1
+	}
+	sh.k.AfterActor(m.injLat[m.tileIdx(p.SrcCore)*chip.NumChannelSpecs+idx], p)
+}
+
+// planRoute expands p's hop sequence into p.Route when it is a pure
+// function of the packet's injection-time state: responses follow the
+// mesh-restricted XYZ route, oblivious requests the (order, tie) dimension
+// walk — both of which the per-hop replay (route.ResponseNext,
+// obliviousNext) derives from nothing but (cur, dst), so expanding
+// dimension by dimension reproduces the replay exactly. Adaptive-policy
+// requests and routes longer than packet.RouteCap get RouteLen = -1: hops
+// stay per-hop decisions.
+func (m *Machine) planRoute(p *packet.Packet) {
+	p.RoutePos = 0
+	p.RouteLen = -1
+	resp := p.Type.Class() == packet.Response
+	if m.adaptive && !resp {
+		return
+	}
+	s := m.cfg.Shape
+	ln := 0
+	sl := int(p.Slice)
+	if resp {
+		// Mesh-restricted XYZ: plain coordinate distance, never wrapping.
+		for _, dim := range topo.OrderXYZ {
+			d := p.DstNode.Get(dim) - p.SrcNode.Get(dim)
+			if d == 0 {
+				continue
+			}
+			dir := 1
+			if d < 0 {
+				dir, d = -1, -d
+			}
+			if ln+d > packet.RouteCap {
+				return
+			}
+			spec := int8(chip.ChannelSpec{Dim: dim, Dir: dir, Slice: sl}.Index())
+			for i := 0; i < d; i++ {
+				p.Route[ln] = spec
+				ln++
+			}
+		}
+		p.RouteLen = int8(ln)
+		return
+	}
+	// Oblivious request: minimal per-dimension deltas in the packet's
+	// order, with the even-ring direction tie resolved once per dimension
+	// (after the tie flips the direction, the remaining distance commits
+	// to it — exactly obliviousNext's per-hop behavior).
+	delta := s.Delta(p.SrcNode, p.DstNode)
+	for _, dim := range p.Order {
+		d := delta.Get(dim)
+		if d == 0 {
+			continue
+		}
+		dir := 1
+		if d < 0 {
+			dir, d = -1, -d
+		}
+		if !p.Tie && 2*d == s.Get(dim) {
+			dir = -dir
+		}
+		if ln+d > packet.RouteCap {
+			return
+		}
+		spec := int8(chip.ChannelSpec{Dim: dim, Dir: dir, Slice: sl}.Index())
+		for i := 0; i < d; i++ {
+			p.Route[ln] = spec
+			ln++
+		}
+	}
+	p.RouteLen = int8(ln)
 }
 
 // nextStep picks p's step out of node cur, or ok=false at the destination.
-// Responses re-derive their mesh-restricted XYZ route hop by hop; requests
-// ask the policy, which sees the current channel backlog at cur.
+// Packets with a precomputed route read their next planned hop; responses
+// re-derive their mesh-restricted XYZ route hop by hop and requests ask
+// the policy, which sees the current channel backlog at cur.
 func (m *Machine) nextStep(p *packet.Packet, cur topo.Coord) (topo.Step, bool) {
+	if p.RouteLen >= 0 {
+		if p.RoutePos >= p.RouteLen {
+			return topo.Step{}, false
+		}
+		cs := chip.ChannelSpecAt(int(p.Route[p.RoutePos]))
+		return topo.Step{Dim: cs.Dim, Dir: cs.Dir}, true
+	}
 	if p.Type.Class() == packet.Response {
 		return route.ResponseNext(cur, p.DstNode)
 	}
@@ -118,7 +212,7 @@ func (m *Machine) nextStep(p *packet.Packet, cur topo.Coord) (topo.Step, bool) {
 	var view route.LoadView
 	if m.adaptive {
 		if m.credEcho && m.vcqFlits > 0 {
-			view = &m.Node(cur).vcq.views[p.Slice]
+			view = &m.Node(cur).vcqViews[p.Slice]
 		} else {
 			view = &m.Node(cur).views[p.Slice]
 		}
@@ -129,29 +223,30 @@ func (m *Machine) nextStep(p *packet.Packet, cur topo.Coord) (topo.Step, bool) {
 // OnPacket advances an in-flight packet one walk step (packet.Walker); the
 // single reusable handler behind every packet timing event. It always
 // executes on the kernel of the shard owning p.Cur: channel crossings whose
-// far end is remote were merged into that shard at a window barrier.
+// far end is remote were merged into that shard at a window barrier. The
+// inner loop runs entirely on the machine's flat tables — neighbor and
+// dateline lookups, latency tables and the channel bank — indexed by the
+// packet's dense node and channel-spec indices.
 func (m *Machine) OnPacket(p *packet.Packet) {
-	node := m.Node(p.Cur)
+	node := m.nodes[p.CurIdx]
 	if m.lineage {
-		p.Hist = append(p.Hist, node.sh.k.Now())
+		p.PushHist(node.sh.k.Now())
 		node.sh.curHist = p.Hist
 	}
 	switch p.State {
 	case packet.WalkTransit:
 		// The inject/transit latency has elapsed: cross the chosen channel.
-		out := chip.ChannelSpecAt(int(p.Out))
-		next := m.cfg.Shape.Neighbor(p.Cur, out.Dim, out.Dir)
-		if m.vcqFlits > 0 {
+		hop := int(p.CurIdx)*chip.NumChannelSpecs + int(p.Out)
+		next := m.neigh[hop]
+		if m.vcqFlits > 0 && m.cross[hop] {
 			// Dateline tracking for the per-hop VC assignment: crossing the
 			// wraparound link switches the packet to the high VC for the
 			// rest of this dimension (route.HopVCs semantics).
-			if (out.Dir > 0 && next.Get(out.Dim) < p.Cur.Get(out.Dim)) ||
-				(out.Dir < 0 && next.Get(out.Dim) > p.Cur.Get(out.Dim)) {
-				p.Crossed = true
-			}
+			p.Crossed = true
 		}
-		p.Cur = next
-		p.In = int8(out.Opposite().Index())
+		p.CurIdx = next
+		p.Cur = m.nodes[next].Coord
+		p.In = m.oppIdx[p.Out]
 		p.State = packet.WalkArrive
 		node.out[p.Out].SendPacket(p)
 
@@ -169,17 +264,32 @@ func (m *Machine) OnPacket(p *packet.Packet) {
 			m.vcqArrive(node, p)
 			return
 		}
-		in := chip.ChannelSpecAt(int(p.In))
+		in := int(p.In)
+		if p.RouteLen >= 0 {
+			// Precomputed route: the next hop (or the eject decision) is a
+			// table read, no coordinate math.
+			if p.RoutePos >= p.RouteLen {
+				p.State = packet.WalkApply
+				node.sh.k.AfterActor(m.ejLat[m.tileIdx(p.DstCore)*chip.NumChannelSpecs+in], p)
+				return
+			}
+			out := int(p.Route[p.RoutePos])
+			p.RoutePos++
+			p.Out = int8(out)
+			p.State = packet.WalkTransit
+			node.sh.k.AfterActor(m.transLat[in][out], p)
+			return
+		}
 		st, ok := m.nextStep(p, p.Cur)
 		if !ok {
 			p.State = packet.WalkApply
-			node.sh.k.AfterActor(m.Geom.EjectLatency(in, p.DstCore), p)
+			node.sh.k.AfterActor(m.ejLat[m.tileIdx(p.DstCore)*chip.NumChannelSpecs+in], p)
 			return
 		}
 		out := chip.ChannelSpec{Dim: st.Dim, Dir: st.Dir, Slice: int(p.Slice)}
 		p.Out = int8(out.Index())
 		p.State = packet.WalkTransit
-		node.sh.k.AfterActor(m.Geom.TransitLatency(in, out), p)
+		node.sh.k.AfterActor(m.transLat[in][out.Index()], p)
 
 	case packet.WalkApply:
 		m.apply(node, p)
@@ -218,6 +328,9 @@ func (m *Machine) apply(n *Node, p *packet.Packet) {
 			// minus the current (applying) event, which Send re-appends as
 			// the response's parent. Inheriting Inj keeps the lineage
 			// tie-break total for response traffic too.
+			if cap(resp.Hist) == 0 {
+				resp.Hist = make([]sim.Time, 0, packet.HistCap)
+			}
 			resp.Hist = append(resp.Hist[:0], p.Hist[:len(p.Hist)-1]...)
 			resp.Inj = p.Inj
 		}

@@ -82,26 +82,45 @@ func (q *pktq) pop() *packet.Packet {
 	return p
 }
 
-// nodeVCQ is one node's virtual-channel flow-control state. All three
-// tables are keyed by dense chip.ChannelSpec indices, but play two roles:
-// credits/pending/pendFlits describe this node's *outbound* channels (the
-// sender side: how much space remains downstream, and which packets are
-// parked waiting for it), while inq/inqFlits/credSeq describe this node's
-// *inbound* channels (the receiver side: the per-VC ingress FIFOs, keyed by
-// the receiver-side spec a packet carries in In).
-type nodeVCQ struct {
-	credits   [chip.NumChannelSpecs][route.NumVCs]int32
-	pending   [chip.NumChannelSpecs][route.NumVCs]pktq
-	pendFlits [chip.NumChannelSpecs][route.NumVCs]int32
+// vcqState is the machine's virtual-channel flow-control state, laid out
+// structure-of-arrays: every table is one flat slice indexed by
+// (node x dense channel spec x VC), so the inner credit loop walks plain
+// []int32 instead of chasing a per-node object. The same slot plays two
+// roles depending on the table: credits/pending/pendFlits describe the
+// node's *outbound* channels (the sender side: how much space remains
+// downstream, and which packets are parked waiting for it), while
+// inq/inqFlits/credSeq describe its *inbound* channels (the receiver side:
+// the per-VC ingress FIFOs, keyed by the receiver-side spec a packet
+// carries in In).
+type vcqState struct {
+	credits   []int32
+	pendFlits []int32
+	pending   []pktq
 
-	inq      [chip.NumChannelSpecs][route.NumVCs]pktq
-	inqFlits [chip.NumChannelSpecs][route.NumVCs]int32
+	inqFlits []int32
+	inq      []pktq
 	// credSeq counts credit messages returned per inbound (channel, VC) —
 	// the content-derived serial that makes credit events totally ordered
 	// under lineage ties regardless of the shard count.
-	credSeq [chip.NumChannelSpecs][route.NumVCs]uint32
+	credSeq []uint32
+}
 
-	views [chip.Slices]creditLoadView
+// newVCQState allocates the flow-control tables for a machine of nNodes.
+func newVCQState(nNodes int) *vcqState {
+	n := nNodes * chip.NumChannelSpecs * route.NumVCs
+	return &vcqState{
+		credits:   make([]int32, n),
+		pendFlits: make([]int32, n),
+		pending:   make([]pktq, n),
+		inqFlits:  make([]int32, n),
+		inq:       make([]pktq, n),
+		credSeq:   make([]uint32, n),
+	}
+}
+
+// vcSlot linearizes (node, channel spec, VC) into the vcqState tables.
+func vcSlot(node int32, spec, vc int) int {
+	return (int(node)*chip.NumChannelSpecs+spec)*route.NumVCs + vc
 }
 
 // creditInjBase places credit-message lineage serials in their own region
@@ -170,7 +189,7 @@ func (m *Machine) lineageTouch(p *packet.Packet, now sim.Time) {
 		return
 	}
 	if n := len(p.Hist); n == 0 || p.Hist[n-1] != now {
-		p.Hist = append(p.Hist, now)
+		p.PushHist(now)
 	}
 }
 
@@ -201,15 +220,15 @@ func (m *Machine) hopVC(p *packet.Packet, out chip.ChannelSpec, base int) int {
 // credits are guaranteed to eventually return). Responses use their
 // dedicated VC for both roles.
 func (m *Machine) chooseHop(n *Node, q *packet.Packet, st topo.Step) (chip.ChannelSpec, int, bool) {
-	v := n.vcq
+	v := m.vcq
 	fl := int32(q.Flits())
 	if q.Type.Class() == packet.Response {
 		out := chip.ChannelSpec{Dim: st.Dim, Dir: st.Dir, Slice: int(q.Slice)}
-		return out, route.ResponseVC, v.credits[out.Index()][route.ResponseVC] >= fl
+		return out, route.ResponseVC, v.credits[vcSlot(n.idx, out.Index(), route.ResponseVC)] >= fl
 	}
 	out := chip.ChannelSpec{Dim: st.Dim, Dir: st.Dir, Slice: int(q.Slice)}
 	w := m.hopVC(q, out, vcFree)
-	if v.credits[out.Index()][w] >= fl {
+	if v.credits[vcSlot(n.idx, out.Index(), w)] >= fl {
 		return out, w, true
 	}
 	esc, ok := route.EscapeNext(m.cfg.Shape, q.Cur, q.DstNode, q.Tie)
@@ -218,7 +237,7 @@ func (m *Machine) chooseHop(n *Node, q *packet.Packet, st topo.Step) (chip.Chann
 	}
 	out = chip.ChannelSpec{Dim: esc.Dim, Dir: esc.Dir, Slice: int(q.Slice)}
 	w = m.hopVC(q, out, vcEscape)
-	return out, w, v.credits[out.Index()][w] >= fl
+	return out, w, v.credits[vcSlot(n.idx, out.Index(), w)] >= fl
 }
 
 // sendFlow is Send's first-hop admission under per-VC flow control: deduct
@@ -229,28 +248,39 @@ func (m *Machine) sendFlow(p *packet.Packet, n *Node, first topo.Step) {
 	out, w, ok := m.chooseHop(n, p, first)
 	idx := out.Index()
 	fl := int32(p.Flits())
-	v := n.vcq
+	v := m.vcq
 	p.Out = int8(idx)
 	if !ok {
+		slot := vcSlot(n.idx, idx, w)
 		p.OutVC = int8(w)
 		p.State = packet.WalkParked
-		v.pending[idx][w].push(p)
-		v.pendFlits[idx][w] += fl
+		v.pending[slot].push(p)
+		v.pendFlits[slot] += fl
 		return
 	}
-	v.credits[idx][w] -= fl
+	v.credits[vcSlot(n.idx, idx, w)] -= fl
 	m.acceptHop(p, out, w)
 	p.State = packet.WalkTransit
-	n.sh.k.AfterActor(m.Geom.InjectLatency(p.SrcCore, out), p)
+	n.sh.k.AfterActor(m.injLat[m.tileIdx(p.SrcCore)*chip.NumChannelSpecs+idx], p)
 }
 
 // acceptHop commits p to channel out on VC w: record the VC whose credits
-// it now holds and update the dateline-tracking dimension state.
+// it now holds, update the dateline-tracking dimension state, and advance
+// (or invalidate) the precomputed route — a packet diverted onto an escape
+// hop that differs from its plan falls back to per-hop decisions for the
+// rest of its walk.
 func (m *Machine) acceptHop(p *packet.Packet, out chip.ChannelSpec, w int) {
 	p.VC = int8(w)
 	if int8(out.Dim) != p.CurDim {
 		p.CurDim = int8(out.Dim)
 		p.Crossed = false
+	}
+	if p.RouteLen >= 0 {
+		if p.RoutePos < p.RouteLen && p.Route[p.RoutePos] == int8(out.Index()) {
+			p.RoutePos++
+		} else {
+			p.RouteLen = -1
+		}
 	}
 }
 
@@ -258,15 +288,16 @@ func (m *Machine) acceptHop(p *packet.Packet, out chip.ChannelSpec, w int) {
 // ingress queues: the packet joins the FIFO of its (inbound channel, VC)
 // and, if it is the head, tries to advance immediately.
 func (m *Machine) vcqArrive(n *Node, p *packet.Packet) {
-	v := n.vcq
+	v := m.vcq
 	in, vc := int(p.In), int(p.VC)
-	v.inqFlits[in][vc] += int32(p.Flits())
-	if v.inqFlits[in][vc] > int32(m.vcqFlits) {
+	slot := vcSlot(n.idx, in, vc)
+	v.inqFlits[slot] += int32(p.Flits())
+	if v.inqFlits[slot] > int32(m.vcqFlits) {
 		panic(fmt.Sprintf("machine: node %v ingress queue overflow on %v vc %d (flow-control bug)",
 			n.Coord, chip.ChannelSpecAt(in), vc))
 	}
-	v.inq[in][vc].push(p)
-	if v.inq[in][vc].len() == 1 {
+	v.inq[slot].push(p)
+	if v.inq[slot].len() == 1 {
 		m.advanceQueue(n, in, vc)
 	}
 }
@@ -276,10 +307,11 @@ func (m *Machine) vcqArrive(n *Node, p *packet.Packet) {
 // chosen output has credits, and a credit-starved head parks — blocking
 // the whole FIFO behind it (head-of-line blocking).
 func (m *Machine) advanceQueue(n *Node, in, vc int) {
-	v := n.vcq
+	v := m.vcq
 	inSpec := chip.ChannelSpecAt(in)
+	inqSlot := vcSlot(n.idx, in, vc)
 	for {
-		q := v.inq[in][vc].peek()
+		q := v.inq[inqSlot].peek()
 		if q == nil {
 			return
 		}
@@ -289,21 +321,22 @@ func (m *Machine) advanceQueue(n *Node, in, vc int) {
 			m.popIngress(n, in, vc, q)
 			q.State = packet.WalkApply
 			m.lineageTouch(q, now)
-			n.sh.k.AfterActor(m.Geom.EjectLatency(inSpec, q.DstCore), q)
+			n.sh.k.AfterActor(m.ejLat[m.tileIdx(q.DstCore)*chip.NumChannelSpecs+in], q)
 			continue
 		}
 		out, w, ok := m.chooseHop(n, q, st)
 		idx := out.Index()
 		fl := int32(q.Flits())
 		if !ok {
+			slot := vcSlot(n.idx, idx, w)
 			q.Out = int8(idx)
 			q.OutVC = int8(w)
 			q.State = packet.WalkParked
-			v.pending[idx][w].push(q)
-			v.pendFlits[idx][w] += fl
+			v.pending[slot].push(q)
+			v.pendFlits[slot] += fl
 			return
 		}
-		v.credits[idx][w] -= fl
+		v.credits[vcSlot(n.idx, idx, w)] -= fl
 		m.popIngress(n, in, vc, q)
 		m.departHop(n, q, inSpec, out, w, now)
 	}
@@ -316,16 +349,17 @@ func (m *Machine) departHop(n *Node, q *packet.Packet, inSpec, out chip.ChannelS
 	q.Out = int8(out.Index())
 	q.State = packet.WalkTransit
 	m.lineageTouch(q, now)
-	n.sh.k.AfterActor(m.Geom.TransitLatency(inSpec, out), q)
+	n.sh.k.AfterActor(m.transLat[inSpec.Index()][out.Index()], q)
 }
 
 // popIngress removes q (the head) from its ingress FIFO and sends the
 // freed flits back upstream as a credit message.
 func (m *Machine) popIngress(n *Node, in, vc int, q *packet.Packet) {
-	v := n.vcq
-	v.inq[in][vc].pop()
+	v := m.vcq
+	slot := vcSlot(n.idx, in, vc)
+	v.inq[slot].pop()
 	fl := int32(q.Flits())
-	v.inqFlits[in][vc] -= fl
+	v.inqFlits[slot] -= fl
 	m.creditReturn(n, in, vc, fl)
 }
 
@@ -337,26 +371,29 @@ func (m *Machine) popIngress(n *Node, in, vc int, q *packet.Packet) {
 // returns ride the executive's outboxes like packet arrivals; the latency
 // floor is the same lookahead, so the deferral is always safe.
 func (m *Machine) creditReturn(n *Node, in, vc int, fl int32) {
-	inSpec := chip.ChannelSpecAt(in)
-	up := m.Node(m.cfg.Shape.Neighbor(n.Coord, inSpec.Dim, inSpec.Dir))
-	v := n.vcq
-	seq := v.credSeq[in][vc]
-	v.credSeq[in][vc]++
-	var msg *creditMsg
-	if up.sh == n.sh {
-		msg = n.sh.getCredit()
-	} else {
-		msg = &creditMsg{}
-	}
+	up := m.nodes[m.neigh[int(n.idx)*chip.NumChannelSpecs+in]]
+	v := m.vcq
+	slot := vcSlot(n.idx, in, vc)
+	seq := v.credSeq[slot]
+	v.credSeq[slot]++
+	// The message always comes from the emitting shard's free list — also
+	// for cross-shard credits, which recycle into the upstream shard's
+	// list when they fire (getCredit touches only n.sh, putCredit only the
+	// firing shard, so no free list is ever shared inside a window; Reset
+	// rebalances the drift the migration leaves behind).
+	msg := n.sh.getCredit()
 	msg.m = m
 	msg.node = up
-	msg.spec = int8(inSpec.Opposite().Index())
+	msg.spec = m.oppIdx[in]
 	msg.vc = int8(vc)
 	msg.flits = int8(fl)
 	msg.inj = creditInjBase +
-		(uint64(m.cfg.Shape.Index(n.Coord))*chip.NumChannelSpecs+uint64(in))<<24 +
+		(uint64(n.idx)*chip.NumChannelSpecs+uint64(in))<<24 +
 		uint64(vc)<<20 + uint64(seq&0xfffff)
 	if m.lineage {
+		if cap(msg.hist) == 0 {
+			msg.hist = make([]sim.Time, 0, packet.HistCap)
+		}
 		msg.hist = append(msg.hist[:0], n.sh.curHist...)
 	}
 	at := n.sh.k.Now() + n.out[in].FixedLatency()
@@ -372,28 +409,29 @@ func (m *Machine) creditReturn(n *Node, in, vc int, fl int32) {
 // Unparked transit heads leave their ingress queues, which lets the
 // packets blocked behind them advance in turn.
 func (m *Machine) creditArrive(n *Node, spec, vc, fl int) {
-	v := n.vcq
-	v.credits[spec][vc] += int32(fl)
+	v := m.vcq
+	slot := vcSlot(n.idx, spec, vc)
+	v.credits[slot] += int32(fl)
 	out := chip.ChannelSpecAt(spec)
 	for {
-		q := v.pending[spec][vc].peek()
+		q := v.pending[slot].peek()
 		if q == nil {
 			return
 		}
 		need := int32(q.Flits())
-		if v.credits[spec][vc] < need {
+		if v.credits[slot] < need {
 			return
 		}
-		v.pending[spec][vc].pop()
-		v.pendFlits[spec][vc] -= need
-		v.credits[spec][vc] -= need
+		v.pending[slot].pop()
+		v.pendFlits[slot] -= need
+		v.credits[slot] -= need
 		now := n.sh.k.Now()
 		if q.In < 0 {
 			// A parked injection: admit it and tell the source.
 			m.acceptHop(q, out, int(q.OutVC))
 			q.State = packet.WalkTransit
 			m.lineageTouch(q, now)
-			n.sh.k.AfterActor(m.Geom.InjectLatency(q.SrcCore, out), q)
+			n.sh.k.AfterActor(m.injLat[m.tileIdx(q.SrcCore)*chip.NumChannelSpecs+spec], q)
 			if q.OnAccept != nil {
 				q.OnAccept.Accepted(q)
 			}
@@ -410,19 +448,20 @@ func (m *Machine) creditArrive(n *Node, spec, vc, fl int) {
 // full credits, empty queues. Packets still held in queues (possible after
 // a deadlocked adaptive run) are recycled into their shard's pool.
 func (n *Node) resetVCQ(queueFlits int) {
-	v := n.vcq
+	v := n.m.vcq
 	if v == nil {
 		return
 	}
-	for spec := range v.credits {
-		for vc := range v.credits[spec] {
+	for spec := 0; spec < chip.NumChannelSpecs; spec++ {
+		for vc := 0; vc < route.NumVCs; vc++ {
+			slot := vcSlot(n.idx, spec, vc)
 			if n.out[spec] != nil {
-				v.credits[spec][vc] = int32(queueFlits)
+				v.credits[slot] = int32(queueFlits)
 			} else {
-				v.credits[spec][vc] = 0
+				v.credits[slot] = 0
 			}
 			for {
-				p := v.pending[spec][vc].pop()
+				p := v.pending[slot].pop()
 				if p == nil {
 					break
 				}
@@ -434,15 +473,15 @@ func (n *Node) resetVCQ(queueFlits int) {
 				}
 			}
 			for {
-				p := v.inq[spec][vc].pop()
+				p := v.inq[slot].pop()
 				if p == nil {
 					break
 				}
 				n.sh.pool.Put(p)
 			}
-			v.pendFlits[spec][vc] = 0
-			v.inqFlits[spec][vc] = 0
-			v.credSeq[spec][vc] = 0
+			v.pendFlits[slot] = 0
+			v.inqFlits[slot] = 0
+			v.credSeq[slot] = 0
 		}
 	}
 }
@@ -451,30 +490,30 @@ func (n *Node) resetVCQ(queueFlits int) {
 // by inbound channel in (the spec a packet carries in In) — the node-level
 // analog of router.Router.Occupancy. Zero when per-VC queues are disabled.
 func (n *Node) IngressOccupancy(in chip.ChannelSpec, vc int) int {
-	if n.vcq == nil {
+	if n.m.vcq == nil {
 		return 0
 	}
-	return int(n.vcq.inqFlits[in.Index()][vc])
+	return int(n.m.vcq.inqFlits[vcSlot(n.idx, in.Index(), vc)])
 }
 
 // OutCredits reports the downstream ingress space (in flits) this node
 // holds for its outbound channel out on VC vc — the node-level analog of
 // router.Router.Credits. Zero when per-VC queues are disabled.
 func (n *Node) OutCredits(out chip.ChannelSpec, vc int) int {
-	if n.vcq == nil {
+	if n.m.vcq == nil {
 		return 0
 	}
-	return int(n.vcq.credits[out.Index()][vc])
+	return int(n.m.vcq.credits[vcSlot(n.idx, out.Index(), vc)])
 }
 
 // ParkedFlits reports the flits parked at this node waiting for credits on
 // outbound channel out, VC vc (head-of-line blocked heads and refused
 // injections).
 func (n *Node) ParkedFlits(out chip.ChannelSpec, vc int) int {
-	if n.vcq == nil {
+	if n.m.vcq == nil {
 		return 0
 	}
-	return int(n.vcq.pendFlits[out.Index()][vc])
+	return int(n.m.vcq.pendFlits[vcSlot(n.idx, out.Index(), vc)])
 }
 
 // creditLoadView reports, to a credit-steered adaptive policy deciding at
@@ -491,12 +530,12 @@ type creditLoadView struct {
 // Load implements route.LoadView.
 func (v *creditLoadView) Load(dim topo.Dim, dir int) int64 {
 	cs := chip.ChannelSpec{Dim: dim, Dir: dir, Slice: v.slice}
-	idx := cs.Index()
-	vq := v.n.vcq
+	vq := v.n.m.vcq
+	base := vcSlot(v.n.idx, cs.Index(), 0)
 	full := int32(v.n.m.vcqFlits)
 	var load int64
 	for vc := 0; vc < route.NumRequestVCs; vc++ {
-		load += int64(full - vq.credits[idx][vc] + vq.pendFlits[idx][vc])
+		load += int64(full - vq.credits[base+vc] + vq.pendFlits[base+vc])
 	}
 	return load
 }

@@ -23,6 +23,12 @@ const (
 	InputQueueFlits = 8 // per-VC router input queue depth
 )
 
+// RouteCap is the longest hop list a packet can carry precomputed (see
+// Packet.Route); it covers the diameter of every production shape (the
+// 512-node 8x8x8 machine's is 12). Longer routes fall back to per-hop
+// decisions.
+const RouteCap = 24
+
 // Class separates the two protocol traffic classes whose independence
 // avoids request-response deadlock.
 type Class uint8
@@ -200,19 +206,33 @@ type Packet struct {
 	Injected sim.Time
 
 	// Walk state, owned by the Walker while the packet is in flight. Cur is
-	// the node the packet is at (or entering); Out and In are dense
-	// chip.ChannelSpec indices (chip.ChannelSpec.Index) of the chosen
-	// outbound channel and of the receiver-side channel just crossed (-1 at
-	// the source). Slice pins the channel slice for the whole walk; Tie is
-	// the even-ring direction tie-break fixed at injection.
+	// the node the packet is at (or entering) and CurIdx its dense
+	// topo.Shape.Index — the machine keeps both in sync so the hot loop
+	// indexes flat per-node tables without re-linearizing coordinates. Out
+	// and In are dense chip.ChannelSpec indices (chip.ChannelSpec.Index) of
+	// the chosen outbound channel and of the receiver-side channel just
+	// crossed (-1 at the source). Slice pins the channel slice for the whole
+	// walk; Tie is the even-ring direction tie-break fixed at injection.
 	Walker Walker
 	Done   Deliverer
 	Cur    topo.Coord
+	CurIdx int32
 	State  WalkState
 	Out    int8
 	In     int8
 	Slice  int8
 	Tie    bool
+
+	// Route is the packet's precomputed hop list: dense channel-spec
+	// indices, one per hop, filled at injection for routes that are a pure
+	// function of (src, dst, order, tie) — every oblivious policy and all
+	// responses. RoutePos is the next unconsumed hop; RouteLen is the hop
+	// count, or -1 when hops are decided per hop instead (adaptive
+	// policies, routes longer than RouteCap, or a packet diverted onto an
+	// escape channel by credit flow control).
+	Route    [RouteCap]int8
+	RoutePos int8
+	RouteLen int8
 
 	// Virtual-channel walk state, used only when the machine models per-VC
 	// ingress queues (machine.Config.VCQueueFlits > 0). VC is the virtual
@@ -253,6 +273,23 @@ type Packet struct {
 // Lineage implements sim.Lineaged.
 func (p *Packet) Lineage() ([]sim.Time, uint64) { return p.Hist, p.Inj }
 
+// HistCap is the lineage-chain capacity PushHist sizes a fresh packet's
+// history to: enough for the walk of a diameter-12 route (two events per
+// hop plus injection and apply) without regrowing.
+const HistCap = 32
+
+// PushHist appends t to the packet's lineage chain. The first growth jumps
+// straight to HistCap instead of walking the append doubling series, so a
+// fresh packet's whole walk costs one history allocation — the dominant
+// allocator in sharded runs before this (Pool.Put keeps the capacity, so
+// recycled packets pay nothing).
+func (p *Packet) PushHist(t sim.Time) {
+	if cap(p.Hist) == 0 {
+		p.Hist = make([]sim.Time, 0, HistCap)
+	}
+	p.Hist = append(p.Hist, t)
+}
+
 // Act fires the packet's next walk step (sim.Actor).
 func (p *Packet) Act() { p.Walker.OnPacket(p) }
 
@@ -285,6 +322,30 @@ func (pl *Pool) Put(p *Packet) {
 	hist := p.Hist[:0]
 	*p = Packet{pooled: true, Hist: hist}
 	pl.free = append(pl.free, p)
+}
+
+// Size reports the number of pooled packets.
+func (pl *Pool) Size() int { return len(pl.free) }
+
+// MoveTo transfers up to n pooled packets from pl to dst and reports how
+// many actually moved. Sharded machines recycle a packet into the pool of
+// the shard that delivered it, so cross-shard traffic makes per-shard
+// pools drift apart run over run; the machine uses MoveTo between runs to
+// even them back out, keeping steady-state Get calls allocation-free.
+func (pl *Pool) MoveTo(dst *Pool, n int) int {
+	moved := 0
+	for moved < n {
+		i := len(pl.free) - 1
+		if i < 0 {
+			break
+		}
+		p := pl.free[i]
+		pl.free[i] = nil
+		pl.free = pl.free[:i]
+		dst.free = append(dst.free, p)
+		moved++
+	}
+	return moved
 }
 
 // Flits returns the packet's flit count: one for header-only packets, two

@@ -64,10 +64,21 @@ type Channel struct {
 
 // NewChannel builds a channel direction on kernel k.
 func NewChannel(k *sim.Kernel, cfg ChannelConfig) *Channel {
+	ch := &Channel{}
+	ch.Init(k, cfg)
+	return ch
+}
+
+// Init initializes ch in place on kernel k, for callers that lay channels
+// out in one flat bank (the machine keeps all of a shape's channels in a
+// single array indexed by node and dense spec index, so the serialization
+// horizons the hot path bumps sit in contiguous memory instead of one heap
+// object per channel).
+func (ch *Channel) Init(k *sim.Kernel, cfg ChannelConfig) {
 	if cfg.Lanes <= 0 || cfg.GbpsLane <= 0 {
 		panic("serdes: invalid channel config")
 	}
-	return &Channel{
+	*ch = Channel{
 		k:    k,
 		cfg:  cfg,
 		comp: NewCompressor(cfg.Compress),

@@ -1,5 +1,7 @@
 package sim
 
+import "slices"
+
 // Handler is a callback invoked when an event fires.
 type Handler func()
 
@@ -13,11 +15,25 @@ type Actor interface {
 }
 
 type event struct {
-	at    Time
-	seq   uint64
 	fn    Handler
 	actor Actor
 }
+
+// heapKey is one heap entry's ordering key. Keeping timestamp and schedule
+// sequence adjacent in a single 16-byte struct means a sift comparison
+// loads one key with one cache access instead of gathering from two
+// parallel arrays.
+type heapKey struct {
+	at  Time
+	seq uint64
+}
+
+// heapRoot is the array index of the heap's root. Indices 0..2 are unused
+// padding: with the root at 3, the four children of node i sit at
+// 4i-8..4i-5 — a block whose byte offset (16 bytes per key) is a multiple
+// of 64, so every child scan in siftDown touches exactly one cache line
+// once the keys array is cache-line aligned (large allocations are).
+const heapRoot = 3
 
 // Kernel is a discrete-event simulation executive. It is not safe for
 // concurrent use; all components of one simulated machine share one Kernel
@@ -25,21 +41,39 @@ type event struct {
 // Distinct Kernels share nothing, so independent simulations may run on
 // separate goroutines concurrently (the runner package relies on this).
 //
-// The pending-event queue is a 4-ary min-heap of indices into an event pool
-// with a free list, rather than container/heap: no interface boxing on the
-// push/pop path, sift swaps move 4-byte indices instead of events, and
-// fired slots are recycled, so scheduling is allocation-free once the pool
-// has grown to the simulation's peak queue depth.
+// The pending-event queue is a 4-ary min-heap laid out structure-of-arrays:
+// heap holds pool slot indices while keys holds the (timestamp, schedule
+// sequence) ordering keys in a parallel array, so sift comparisons read one
+// flat key array instead of dereferencing the event pool — only lineage
+// tie-breaks (equal timestamps in lineage mode) touch the pool for the
+// actors. The pool itself stores just the two-word callback payload,
+// recycled through a free list, so scheduling is allocation-free once the
+// pool has grown to the simulation's peak queue depth.
 type Kernel struct {
 	now     Time
 	seq     uint64
-	heap    []int32 // 4-ary min-heap, ordered by (pool[i].at, pool[i].seq)
-	rootAt  Time    // pool[heap[0]].at, cached; valid while len(heap) > 0
+	heap    []int32   // 4-ary min-heap of pool slots, rooted at heapRoot
+	keys    []heapKey // keys[i] is slot heap[i]'s ordering key
+	rootAt  Time      // keys[heapRoot].at, cached; valid while the heap is non-empty
 	pool    []event
 	free    []int32 // recycled pool slots
 	stopped bool
 	fired   uint64
 	lastAt  Time // timestamp of the last executed event (unlike now, never forced forward by RunUntil)
+
+	batch []Batched // DrainAt/StepBatch scratch, reused across batches
+
+	// Staged lane: bulk setup events (e.g. a harness's pre-drawn injection
+	// schedule) live here as a flat (at, seq)-sorted array consumed front to
+	// back, instead of inflating the heap with thousands of far-future
+	// entries that every hot-path pop would sift across. Because staged
+	// events are always setup events (scheduled before BeginLineageOrder),
+	// comparing (at, seq) against the heap root reproduces the exact order
+	// a single heap would produce in both sequence and lineage modes —
+	// lineage only diverges from sequence comparison when both events are
+	// runtime-scheduled.
+	ladder    []ladderEvt
+	ladderPos int
 
 	// Lineage tie ordering (sharded execution; see BeginLineageOrder).
 	lineage  bool
@@ -56,19 +90,79 @@ func (k *Kernel) Now() Time { return k.now }
 // performance accounting in benchmarks).
 func (k *Kernel) EventsFired() uint64 { return k.fired }
 
-// Pending reports the number of scheduled-but-unfired events.
-func (k *Kernel) Pending() int { return len(k.heap) }
+// heapLen reports the number of events in the heap (excluding padding).
+func (k *Kernel) heapLen() int {
+	if n := len(k.heap) - heapRoot; n > 0 {
+		return n
+	}
+	return 0
+}
 
-// before reports whether pool slot a fires strictly before slot b.
-func (k *Kernel) before(a, b int32) bool {
-	ea, eb := &k.pool[a], &k.pool[b]
-	if ea.at != eb.at {
-		return ea.at < eb.at
+// Pending reports the number of scheduled-but-unfired events.
+func (k *Kernel) Pending() int { return k.heapLen() + len(k.ladder) - k.ladderPos }
+
+// ladderEvt is one staged-lane event (see Kernel.StageActor).
+type ladderEvt struct {
+	at    Time
+	seq   uint64
+	actor Actor
+}
+
+// StageActor schedules a.Act() at absolute time at in the staged lane: a
+// flat array the kernel keeps sorted by (time, schedule sequence) and merges
+// with the heap at pop time. Use it for bulk setup schedules — thousands of
+// pre-drawn future events that would otherwise deepen the heap every
+// hot-path pop has to sift across. SealStage must be called after the last
+// StageActor and before any event fires; both belong to the setup phase
+// (before BeginLineageOrder / running), where firing order is defined by
+// schedule sequence alone.
+func (k *Kernel) StageActor(at Time, a Actor) {
+	if at < k.now {
+		panic("sim: event scheduled in the past")
 	}
-	if k.lineage {
-		return k.lineageBefore(ea, eb)
+	k.seq++
+	k.ladder = append(k.ladder, ladderEvt{at: at, seq: k.seq, actor: a})
+}
+
+// SealStage sorts the staged lane into firing order. Events staged after
+// the previous seal (or reset) are sorted together with any not yet fired.
+func (k *Kernel) SealStage() {
+	lad := k.ladder[k.ladderPos:]
+	sortLadder(lad)
+}
+
+// sortLadder sorts staged events by (at, seq) — a total order, since
+// schedule sequences are unique — with a plain in-place pdq-style sort from
+// the standard library, allocation-free.
+func sortLadder(lad []ladderEvt) {
+	slices.SortFunc(lad, func(a, b ladderEvt) int {
+		if a.at != b.at {
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
+}
+
+// nextAt returns the timestamp of the earliest pending event and whether
+// any event is pending, merging the heap root with the staged-lane head.
+func (k *Kernel) nextAt() (Time, bool) {
+	hasLad := k.ladderPos < len(k.ladder)
+	if len(k.heap) > heapRoot {
+		if hasLad && k.ladder[k.ladderPos].at < k.rootAt {
+			return k.ladder[k.ladderPos].at, true
+		}
+		return k.rootAt, true
 	}
-	return ea.seq < eb.seq
+	if hasLad {
+		return k.ladder[k.ladderPos].at, true
+	}
+	return 0, false
 }
 
 // Lineaged is implemented by actors that carry their own event-history
@@ -83,18 +177,21 @@ type Lineaged interface {
 	Lineage() (hist []Time, inj uint64)
 }
 
-// lineageBefore orders two same-timestamp events the way the equivalent
-// sequential kernel would. In a sequential kernel, same-time events fire
-// in schedule order, and an event's schedule position is its scheduler's
-// execution position — recursively, until the chains reach setup-scheduled
-// events, which all precede every runtime-scheduled event and order among
+// tieBefore orders two same-timestamp events in lineage mode the way the
+// equivalent sequential kernel would, identified by pool slot and schedule
+// sequence. In a sequential kernel, same-time events fire in schedule
+// order, and an event's schedule position is its scheduler's execution
+// position — recursively, until the chains reach setup-scheduled events,
+// which all precede every runtime-scheduled event and order among
 // themselves by setup sequence. Comparing the actors' fire-time histories
 // newest-first implements exactly that recursion, so the order of any two
 // events is a function of event content alone — independent of which shard
 // kernel hosts them, in what order cross-shard merges inserted them, and
-// of the shard count itself.
-func (k *Kernel) lineageBefore(ea, eb *event) bool {
-	sa, sb := ea.seq <= k.setupSeq, eb.seq <= k.setupSeq
+// of the shard count itself. Slot-based (rather than heap-positional)
+// operands let the lineage sifts carry entries in registers like the
+// sequence-mode sifts; only this tie path touches the pool.
+func (k *Kernel) tieBefore(slotA int32, qa uint64, slotB int32, qb uint64) bool {
+	sa, sb := qa <= k.setupSeq, qb <= k.setupSeq
 	if sa || sb {
 		if sa != sb {
 			// Setup events were all scheduled before any runtime event.
@@ -102,15 +199,15 @@ func (k *Kernel) lineageBefore(ea, eb *event) bool {
 		}
 		// Both setup: local schedule order is the global setup order
 		// restricted to this shard, which preserves relative order.
-		return ea.seq < eb.seq
+		return qa < qb
 	}
-	la, okA := ea.actor.(Lineaged)
-	lb, okB := eb.actor.(Lineaged)
+	la, okA := k.pool[slotA].actor.(Lineaged)
+	lb, okB := k.pool[slotB].actor.(Lineaged)
 	if !okA || !okB {
 		// Closures or unranked actors at runtime: schedule order is the
 		// best available (deterministic, but only sequential-equivalent
 		// for Lineaged chains).
-		return ea.seq < eb.seq
+		return qa < qb
 	}
 	ha, ia := la.Lineage()
 	hb, ib := lb.Lineage()
@@ -149,8 +246,11 @@ func (k *Kernel) BeginLineageOrder() {
 func (k *Kernel) Reset() {
 	k.now, k.seq, k.rootAt, k.lastAt = 0, 0, 0, 0
 	k.heap = k.heap[:0]
+	k.keys = k.keys[:0]
 	k.pool = k.pool[:0]
 	k.free = k.free[:0]
+	k.ladder = k.ladder[:0]
+	k.ladderPos = 0
 	k.stopped = false
 	k.fired = 0
 	k.lineage = false
@@ -162,26 +262,69 @@ func (k *Kernel) Reset() {
 // windowed run it is the drain time a sequential Run would have returned.
 func (k *Kernel) LastFired() Time { return k.lastAt }
 
+// heap index arithmetic, rooted at heapRoot: children of i sit at
+// 4i-8..4i-5 and the parent of c is c/4+2.
+
+// siftUp restores heap order after appending at position i. The sequence
+// comparison is inlined here (a schedule sequence strictly orders every
+// same-timestamp pair), so the hot path runs branch-light over the flat
+// key array; lineage mode routes through the comparator-based variant.
 func (k *Kernel) siftUp(i int) {
-	h := k.heap
-	slot := h[i]
-	for i > 0 {
-		p := (i - 1) / 4
-		if !k.before(slot, h[p]) {
+	if k.lineage {
+		k.siftUpLineage(i)
+		return
+	}
+	h, ks := k.heap, k.keys
+	slot, key := h[i], ks[i]
+	for i > heapRoot {
+		p := i/4 + 2
+		pk := ks[p]
+		if pk.at < key.at || (pk.at == key.at && pk.seq < key.seq) {
 			break
 		}
-		h[i] = h[p]
+		h[i], ks[i] = h[p], pk
 		i = p
 	}
-	h[i] = slot
+	h[i], ks[i] = slot, key
 }
 
-func (k *Kernel) siftDown(i int) {
-	h := k.heap
+// siftUpLineage is siftUp with lineage tie ordering: the timestamp
+// comparison stays inlined over the flat key array, and only an exact
+// timestamp tie pays the tieBefore call into the pool.
+func (k *Kernel) siftUpLineage(i int) {
+	h, ks := k.heap, k.keys
+	slot, key := h[i], ks[i]
+	for i > heapRoot {
+		p := i/4 + 2
+		pk := ks[p]
+		if pk.at < key.at || (pk.at == key.at && k.tieBefore(h[p], pk.seq, slot, key.seq)) {
+			break
+		}
+		h[i], ks[i] = h[p], pk
+		i = p
+	}
+	h[i], ks[i] = slot, key
+}
+
+// sinkRoot refills the root hole left by pop with the carried entry
+// (formerly the heap's last element) using the bottom-up strategy: sink
+// the hole to a leaf along the min-child path with no carried-key
+// compares, then sift the carried entry back up from the leaf. Because
+// the carried entry was a leaf, it nearly always belongs at the bottom,
+// so the up-pass exits after one compare — saving the per-level
+// carried-key compare a top-down sift pays on the way down. The final
+// heap arrangement can differ from a top-down sift's, but pop order is
+// the (timestamp, sequence) total order either way.
+func (k *Kernel) sinkRoot(slot int32, key heapKey) {
+	if k.lineage {
+		k.sinkRootLineage(slot, key)
+		return
+	}
+	h, ks := k.heap, k.keys
 	n := len(h)
-	slot := h[i]
+	i := heapRoot
 	for {
-		c := 4*i + 1
+		c := 4*i - 8
 		if c >= n {
 			break
 		}
@@ -189,19 +332,67 @@ func (k *Kernel) siftDown(i int) {
 		if end > n {
 			end = n
 		}
-		min := c
+		min, minK := c, ks[c]
 		for j := c + 1; j < end; j++ {
-			if k.before(h[j], h[min]) {
-				min = j
+			jk := ks[j]
+			if jk.at < minK.at || (jk.at == minK.at && jk.seq < minK.seq) {
+				min, minK = j, jk
 			}
 		}
-		if !k.before(h[min], slot) {
-			break
-		}
-		h[i] = h[min]
+		h[i], ks[i] = h[min], minK
 		i = min
 	}
-	h[i] = slot
+	for i > heapRoot {
+		p := i/4 + 2
+		pk := ks[p]
+		if pk.at < key.at || (pk.at == key.at && pk.seq < key.seq) {
+			break
+		}
+		h[i], ks[i] = h[p], pk
+		i = p
+	}
+	h[i], ks[i] = slot, key
+}
+
+// sinkRootLineage is sinkRoot's bottom-up refill under lineage tie
+// ordering: min-child selection and the leaf-to-root sift both compare
+// timestamps inline and fall into tieBefore only on exact ties. The
+// bottom-up argument carries over unchanged — pop order is whatever total
+// order the comparator defines, regardless of internal arrangement, and
+// tieBefore is a strict total order on same-timestamp events.
+func (k *Kernel) sinkRootLineage(slot int32, key heapKey) {
+	h, ks := k.heap, k.keys
+	n := len(h)
+	i := heapRoot
+	for {
+		c := 4*i - 8
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min, minK := c, ks[c]
+		for j := c + 1; j < end; j++ {
+			jk := ks[j]
+			if jk.at < minK.at || (jk.at == minK.at && k.tieBefore(h[j], jk.seq, h[min], minK.seq)) {
+				min, minK = j, jk
+			}
+		}
+		h[i], ks[i] = h[min], minK
+		i = min
+	}
+	for i > heapRoot {
+		p := i/4 + 2
+		pk := ks[p]
+		if pk.at < key.at || (pk.at == key.at && k.tieBefore(h[p], pk.seq, slot, key.seq)) {
+			break
+		}
+		h[i], ks[i] = h[p], pk
+		i = p
+	}
+	h[i], ks[i] = slot, key
 }
 
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
@@ -222,7 +413,6 @@ func (k *Kernel) push(at Time, e event) {
 		panic("sim: event scheduled in the past")
 	}
 	k.seq++
-	e.at, e.seq = at, k.seq
 	var idx int32
 	if n := len(k.free) - 1; n >= 0 {
 		idx = k.free[n]
@@ -232,9 +422,15 @@ func (k *Kernel) push(at Time, e event) {
 		idx = int32(len(k.pool) - 1)
 	}
 	k.pool[idx] = e
+	if len(k.heap) == 0 {
+		// Reserve the root padding (see heapRoot).
+		k.heap = append(k.heap, 0, 0, 0)
+		k.keys = append(k.keys, heapKey{}, heapKey{}, heapKey{})
+	}
 	k.heap = append(k.heap, idx)
+	k.keys = append(k.keys, heapKey{at: at, seq: k.seq})
 	k.siftUp(len(k.heap) - 1)
-	k.rootAt = k.pool[k.heap[0]].at
+	k.rootAt = k.keys[heapRoot].at
 }
 
 // After schedules fn to run delay picoseconds from now.
@@ -256,25 +452,51 @@ func (k *Kernel) AfterActor(delay Time, a Actor) {
 // Stop makes Run return after the currently executing event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// pop removes the earliest pending event — merging the heap root with the
+// staged-lane head by (timestamp, schedule sequence) — and returns its
+// callback payload, advancing the clock to its timestamp. It must not be
+// called with no events pending.
+func (k *Kernel) pop() event {
+	if k.ladderPos < len(k.ladder) {
+		le := &k.ladder[k.ladderPos]
+		if len(k.heap) <= heapRoot || le.at < k.rootAt || (le.at == k.rootAt && le.seq < k.keys[heapRoot].seq) {
+			k.ladderPos++
+			k.now = le.at
+			k.lastAt = le.at
+			k.fired++
+			a := le.actor
+			le.actor = nil
+			if k.ladderPos == len(k.ladder) {
+				k.ladder = k.ladder[:0]
+				k.ladderPos = 0
+			}
+			return event{actor: a}
+		}
+	}
+	slot := k.heap[heapRoot]
+	at := k.keys[heapRoot].at
+	e := k.pool[slot]
+	// Drop the references so the GC can collect closures and actors.
+	k.pool[slot] = event{}
+	k.free = append(k.free, slot)
+	last := len(k.heap) - 1
+	lslot, lkey := k.heap[last], k.keys[last]
+	k.heap = k.heap[:last]
+	k.keys = k.keys[:last]
+	if last > heapRoot {
+		k.sinkRoot(lslot, lkey)
+		k.rootAt = k.keys[heapRoot].at
+	}
+	k.now = at
+	k.lastAt = at
+	k.fired++
+	return e
+}
+
 // step pops and fires the earliest event. It must not be called on an
 // empty queue.
 func (k *Kernel) step() {
-	slot := k.heap[0]
-	e := k.pool[slot]
-	// Drop the references so the GC can collect closures and actors.
-	k.pool[slot].fn = nil
-	k.pool[slot].actor = nil
-	k.free = append(k.free, slot)
-	last := len(k.heap) - 1
-	k.heap[0] = k.heap[last]
-	k.heap = k.heap[:last]
-	if last > 0 {
-		k.siftDown(0)
-		k.rootAt = k.pool[k.heap[0]].at
-	}
-	k.now = e.at
-	k.lastAt = e.at
-	k.fired++
+	e := k.pop()
 	if e.fn != nil {
 		e.fn()
 	} else {
@@ -282,14 +504,116 @@ func (k *Kernel) step() {
 	}
 }
 
+// DrainAt pops every pending event sharing the earliest timestamp, in the
+// exact order repeated step() calls would fire them, appends them to buf
+// without executing anything, and advances the clock to that timestamp.
+// The returned slice aliases buf's storage (pass buf[:0] to reuse a batch
+// buffer across calls). It returns buf unchanged when no events are
+// pending.
+//
+// Events scheduled *while a drained batch executes* at that same timestamp
+// are not part of the batch; they form the next one — which StepBatch (and
+// the Run/RunUntil loops) pick up by re-draining before moving the clock.
+// Under sequence ordering this reproduces step() order exactly: a newly
+// scheduled same-time event has a higher sequence than everything already
+// drained, so step() would fire it last too. Under lineage ordering it is
+// equivalent for every workload that schedules strictly forward in time
+// (all machine latencies are positive); only a zero-delay self-schedule
+// racing an undrained lineage peer could observe the batch boundary.
+func (k *Kernel) DrainAt(buf []Batched) []Batched {
+	t, ok := k.nextAt()
+	if !ok {
+		return buf
+	}
+	for {
+		e := k.pop()
+		buf = append(buf, Batched{Fn: e.fn, Actor: e.actor})
+		if at, ok := k.nextAt(); !ok || at != t {
+			return buf
+		}
+	}
+}
+
+// Batched is one event of a timestamp batch returned by DrainAt: exactly
+// one of Fn or Actor is set.
+type Batched struct {
+	Fn    Handler
+	Actor Actor
+}
+
+// Fire executes the batched event.
+func (b Batched) Fire() {
+	if b.Fn != nil {
+		b.Fn()
+	} else {
+		b.Actor.Act()
+	}
+}
+
+// StepBatch fires every pending event at the earliest timestamp — including
+// events those firings schedule back at the same timestamp — and returns
+// that timestamp with ok=true, or ok=false if nothing was pending. It is
+// equivalent to calling step() until the root timestamp changes (see
+// DrainAt for the exact ordering contract), while paying the batch's
+// bookkeeping once instead of per event.
+func (k *Kernel) StepBatch() (Time, bool) {
+	t, ok := k.nextAt()
+	if !ok {
+		return 0, false
+	}
+	k.runBatchesAt(t)
+	return t, true
+}
+
+// runBatchesAt drains and fires timestamp-t batches until no events at t
+// remain (an executing batch may schedule follow-up work at t).
+func (k *Kernel) runBatchesAt(t Time) {
+	for at, ok := k.nextAt(); ok && at == t; at, ok = k.nextAt() {
+		b := k.DrainAt(k.batch[:0])
+		for i := range b {
+			if b[i].Fn != nil {
+				b[i].Fn()
+			} else {
+				b[i].Actor.Act()
+			}
+			b[i] = Batched{}
+		}
+		k.batch = b[:0]
+	}
+}
+
 // Run executes events until the queue drains or Stop is called. It returns
 // the time of the last executed event.
 func (k *Kernel) Run() Time {
 	k.stopped = false
-	for len(k.heap) > 0 && !k.stopped {
+	for k.Pending() > 0 && !k.stopped {
 		k.step()
 	}
 	return k.now
+}
+
+// RunUntilBatch executes events with timestamps <= deadline like RunUntil,
+// but fires each timestamp's events as drained batches (see StepBatch /
+// DrainAt for the ordering contract): the window loop pays the peek and
+// deadline check once per timestamp instead of once per event. ParallelExec
+// windows run shard kernels through this.
+func (k *Kernel) RunUntilBatch(deadline Time) bool {
+	k.stopped = false
+	for !k.stopped {
+		at, ok := k.nextAt()
+		if !ok {
+			break
+		}
+		if at > deadline {
+			k.now = deadline
+			return false
+		}
+		k.runBatchesAt(at)
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return k.Pending() == 0
 }
 
 // RunUntil executes events with timestamps <= deadline. Events scheduled
@@ -298,8 +622,12 @@ func (k *Kernel) Run() Time {
 // hot loop touches only the Kernel header — no heap/pool indirection.
 func (k *Kernel) RunUntil(deadline Time) bool {
 	k.stopped = false
-	for len(k.heap) > 0 && !k.stopped {
-		if k.rootAt > deadline {
+	for !k.stopped {
+		at, ok := k.nextAt()
+		if !ok {
+			break
+		}
+		if at > deadline {
 			k.now = deadline
 			return false
 		}
@@ -308,5 +636,5 @@ func (k *Kernel) RunUntil(deadline Time) bool {
 	if k.now < deadline {
 		k.now = deadline
 	}
-	return len(k.heap) == 0
+	return k.Pending() == 0
 }

@@ -1,7 +1,5 @@
 package sim
 
-import "sync"
-
 // Deferrer accepts an event whose target lives on another shard's kernel:
 // instead of scheduling immediately, the event is buffered and scheduled
 // at the next window barrier. serdes channels whose far end belongs to a
@@ -63,6 +61,16 @@ type ParallelExec struct {
 	look    Time
 	out     [][]Outbox // [src][dst]
 	scratch []deferred // merge buffer, reused across barriers
+
+	// Persistent window workers: one goroutine per shard, parked on its
+	// work channel between windows, spawned lazily at the first window
+	// with more than one active shard and stopped when Run returns. The
+	// channels and the active-shard scratch live here so a reused
+	// executive's Run is allocation-free in steady state.
+	work  []chan Time
+	done  chan struct{}
+	spawn []func() // spawn[i] runs worker i; prebuilt because `go` with arguments allocates a wrapper closure per spawn
+	act   []int
 }
 
 // NewParallelExec builds an executive over the given shard kernels.
@@ -102,31 +110,59 @@ func (x *ParallelExec) BeginLineageOrder() {
 // shards — the value a sequential Kernel.Run over the same event set would
 // have returned.
 func (x *ParallelExec) Run() Time {
-	var wg sync.WaitGroup
+	started := false
 	for {
+		// Window floor T and the set of shards with events inside the
+		// window. Shards with nothing before the deadline are skipped
+		// entirely — their kernels' clocks catch up when they next run —
+		// and a window with a single active shard executes inline on this
+		// goroutine, no handoff. Worker goroutines spawn only at the first
+		// genuinely parallel window and park on their channels between
+		// windows, so per-window cost is a channel send per active shard
+		// instead of a goroutine spawn per shard.
 		T, have := Time(0), false
 		for _, k := range x.ks {
-			if k.Pending() > 0 && (!have || k.rootAt < T) {
-				T, have = k.rootAt, true
+			if at, ok := k.nextAt(); ok && (!have || at < T) {
+				T, have = at, true
 			}
 		}
 		if !have {
 			break
 		}
 		deadline := T + x.look - 1
-		if len(x.ks) == 1 {
-			x.ks[0].RunUntil(deadline)
-		} else {
-			for _, k := range x.ks {
-				wg.Add(1)
-				go func(k *Kernel) {
-					defer wg.Done()
-					k.RunUntil(deadline)
-				}(k)
+		x.act = x.act[:0]
+		for i, k := range x.ks {
+			if at, ok := k.nextAt(); ok && at <= deadline {
+				x.act = append(x.act, i)
 			}
-			wg.Wait()
+		}
+		if len(x.act) == 1 {
+			x.ks[x.act[0]].RunUntilBatch(deadline)
+		} else {
+			if !started {
+				x.startWorkers()
+				started = true
+			}
+			for _, i := range x.act {
+				x.work[i] <- deadline
+			}
+			for range x.act {
+				<-x.done
+			}
 		}
 		x.merge()
+	}
+	if started {
+		// Retire the workers and wait for each to acknowledge: the ack is
+		// the last thing a worker does before returning, so by the time Run
+		// returns the worker goroutines are (about to be) dead and the next
+		// Run's spawns recycle them instead of allocating fresh ones.
+		for _, c := range x.work {
+			c <- stopWorker
+		}
+		for range x.work {
+			<-x.done
+		}
 	}
 	var last Time
 	for _, k := range x.ks {
@@ -148,6 +184,44 @@ func (x *ParallelExec) Run() Time {
 		k.now = last
 	}
 	return last
+}
+
+// stopWorker is the sentinel deadline that retires a window worker; real
+// deadlines are never negative. A sentinel (rather than closing the work
+// channels) lets a reused executive keep its channels across Runs.
+const stopWorker = Time(-1)
+
+// startWorkers spawns one parked window worker per shard, building the
+// channels on first use only — a reused executive's later Runs respawn
+// workers on the cached channels without allocating.
+func (x *ParallelExec) startWorkers() {
+	if x.work == nil {
+		x.work = make([]chan Time, len(x.ks))
+		x.spawn = make([]func(), len(x.ks))
+		for i := range x.work {
+			i := i
+			x.work[i] = make(chan Time, 1)
+			x.spawn[i] = func() { x.worker(i) }
+		}
+		x.done = make(chan struct{}, len(x.ks))
+	}
+	for i := range x.ks {
+		go x.spawn[i]()
+	}
+}
+
+// worker runs shard i's window deadlines until retired.
+func (x *ParallelExec) worker(i int) {
+	k := x.ks[i]
+	for {
+		dl := <-x.work[i]
+		if dl == stopWorker {
+			x.done <- struct{}{}
+			return
+		}
+		k.RunUntilBatch(dl)
+		x.done <- struct{}{}
+	}
 }
 
 // merge drains every outbox into its destination kernel. Entries for one

@@ -1,0 +1,44 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+
+	"anton3/internal/route"
+	"anton3/internal/testutil"
+	"anton3/internal/topo"
+)
+
+// TestShardedPointAllocRatio enforces the sharded steady-state allocation
+// gate: once a reused sharded harness has warmed up (packet pools, credit
+// free lists, kernel event pools, window workers and outbox buffers all
+// grown to the workload's size), a sweep point at shards=2 and shards=4
+// allocates no more than 2x the shards=1 baseline. The baseline is itself
+// pinned at zero by TestNetsweepPointAllocFree, so in practice this
+// requires the sharded path — lineage bookkeeping, cross-shard outbox
+// merges, per-window worker handoffs, free-list rebalancing — to be
+// allocation-free too. This is the gate that keeps the BENCH_parallel.json
+// shards>1 rows from regressing into the pre-PR-7 per-window alloc blowup.
+func TestShardedPointAllocRatio(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	pat := Uniform()
+	point := func(h *Harness) float64 {
+		// Steady state: the first runs grow every buffer; measure after.
+		run := func() { h.RunPoint(pat, 2, 16, 4, 7) }
+		for i := 0; i < 4; i++ {
+			run()
+		}
+		return testing.AllocsPerRun(10, run)
+	}
+	base := point(NewHarness(topo.Shape{X: 4, Y: 4, Z: 8}, route.Random(), 1))
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			got := point(NewHarness(topo.Shape{X: 4, Y: 4, Z: 8}, route.Random(), shards))
+			if got > 2*base {
+				t.Fatalf("sharded sweep point allocates %.1f times/op, want <= 2x the shards=1 baseline (%.1f)", got, base)
+			}
+		})
+	}
+}

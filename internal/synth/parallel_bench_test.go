@@ -21,6 +21,13 @@ func BenchmarkNetsweepShards(b *testing.B) {
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			h := NewHarness(shape, route.Random(), shards)
+			// Warm the reused harness to steady state before timing, so
+			// ns/op measures the windowed run and allocs/op the per-point
+			// residue — not the one-time pool/buffer growth of a cold
+			// machine (which used to dominate the shards>1 rows).
+			for i := 0; i < 2; i++ {
+				_ = h.RunPoint(pat, 3, 48, 16, 7)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
