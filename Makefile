@@ -14,7 +14,9 @@ test:
 # The CI fast lane: reduced-size (not skipped) tests under the race
 # detector, the allocation gate, plus the netsweep, saturate and MD
 # timestep CLI smokes (the saturate and fig12 smokes also diff sharded
-# vs sequential output — shard-count invariance end to end).
+# vs sequential output — shard-count invariance end to end) and the
+# cache smoke (cold + warm -cache runs byte-identical to uncached, warm
+# run executing zero probes).
 test-short:
 	$(GO) test -short -race ./...
 	$(MAKE) alloc-gate
@@ -25,6 +27,12 @@ test-short:
 	$(GO) run ./cmd/anton3 fig12 -atoms 3000 -steps 2 -q > /tmp/anton3-md-seq.txt
 	$(GO) run ./cmd/anton3 fig12 -atoms 3000 -steps 2 -q -shards 2 > /tmp/anton3-md-sh2.txt
 	diff /tmp/anton3-md-seq.txt /tmp/anton3-md-sh2.txt
+	@cdir=$$(mktemp -d); \
+	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q -cache -cachedir "$$cdir" -json /tmp/anton3-sat-cold.json > /tmp/anton3-sat-cold.txt && \
+	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q -cache -cachedir "$$cdir" -json /tmp/anton3-sat-warm.json > /tmp/anton3-sat-warm.txt && \
+	diff /tmp/anton3-sat-seq.txt /tmp/anton3-sat-cold.txt && \
+	diff /tmp/anton3-sat-seq.txt /tmp/anton3-sat-warm.txt && \
+	python3 -c "import json; c=json.load(open('/tmp/anton3-sat-cold.json'))['cache']; w=json.load(open('/tmp/anton3-sat-warm.json'))['cache']; assert c['misses']>0 and c['hits']==0, c; assert w['hits']>0 and w['misses']==0, w; print('cache smoke: cold', c, '-> warm', w)"
 
 # The allocation gate: testing.AllocsPerRun regression tests pinning the
 # steady-state machine.Send (request and response classes), the synth
@@ -37,14 +45,14 @@ alloc-gate:
 
 # The CI bench lane: every paper artifact once, the hot-path micro-bench
 # report (BENCH_hotpath.json: ns/op + allocs/op per PR, gated against the
-# committed copy — a SendHotPath regression >10% fails the lane), the
-# shard-scaling report, the saturation report, then a full parallel `all`
-# run refreshing BENCH_runner.json. The fresh hotpath JSON lands in a temp
-# file first so the committed baseline survives a failed gate for
-# diagnosis (and isn't truncated before benchjson reads it).
+# committed copy — a SendHotPath or Netsweep regression >10% fails the
+# lane), the shard-scaling report, the saturation report, then a full
+# parallel `all` run refreshing BENCH_runner.json. The fresh hotpath JSON
+# lands in a temp file first so the committed baseline survives a failed
+# gate for diagnosis (and isn't truncated before benchjson reads it).
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
-	$(GO) test -run '^$$' -bench 'SendHotPath|SendResponseHotPath|Netsweep$$' -benchmem -count=1 ./internal/machine ./internal/synth | $(GO) run ./cmd/benchjson -gate BENCH_hotpath.json -gate-bench SendHotPath > BENCH_hotpath.json.tmp
+	$(GO) test -run '^$$' -bench 'SendHotPath|SendResponseHotPath|Netsweep$$' -benchmem -count=1 ./internal/machine ./internal/synth | $(GO) run ./cmd/benchjson -gate BENCH_hotpath.json -gate-bench SendHotPath,Netsweep > BENCH_hotpath.json.tmp
 	mv BENCH_hotpath.json.tmp BENCH_hotpath.json
 	$(MAKE) bench-parallel
 	$(MAKE) bench-saturate
@@ -54,10 +62,22 @@ bench:
 # The shard-scaling report: one 512-node netsweep point simulated at
 # 1/2/4 kernel shards (byte-identical output, wall clock only). The
 # shards=1 over shards=4 ns/op ratio in BENCH_parallel.json is the
-# parallel-simulation speedup; meaningful on a multicore runner, which is
-# why CI's bench lane auto-commits the refreshed copy.
+# parallel-simulation speedup; meaningful only on a multicore runner,
+# which is why CI's bench lane auto-commits the refreshed copy — and why
+# a single-core host (the common dev container) writes its numbers to
+# /tmp instead of clobbering the committed multicore baseline, and skips
+# the gate (1-core ns/op against a multicore baseline is noise, not a
+# regression signal). Multicore hosts gate NetsweepShards against the
+# committed copy, same temp-file pattern as the hotpath lane.
 bench-parallel:
-	$(GO) test -run '^$$' -bench 'NetsweepShards' -benchmem -count=1 -timeout 1800s ./internal/synth | $(GO) run ./cmd/benchjson > BENCH_parallel.json
+	@ncpu=$$(getconf _NPROCESSORS_ONLN); \
+	if [ "$$ncpu" -le 1 ]; then \
+		echo "bench-parallel: 1-core host — writing /tmp/BENCH_parallel.json, keeping committed multicore baseline, skipping gate"; \
+		$(GO) test -run '^$$' -bench 'NetsweepShards' -benchmem -count=1 -timeout 1800s ./internal/synth | $(GO) run ./cmd/benchjson > /tmp/BENCH_parallel.json; \
+	else \
+		$(GO) test -run '^$$' -bench 'NetsweepShards' -benchmem -count=1 -timeout 1800s ./internal/synth | $(GO) run ./cmd/benchjson -gate BENCH_parallel.json -gate-bench NetsweepShards > BENCH_parallel.json.tmp && \
+		mv BENCH_parallel.json.tmp BENCH_parallel.json; \
+	fi
 
 # The saturation report: one closed-loop cell timing plus the per-policy
 # saturation knees on the adversarial bit-complement pattern (reported as
@@ -73,9 +93,17 @@ bench-saturate:
 # over shards=4 ratio is the MD speedup of the parallel executive), plus
 # the closed-loop backpressure rows: simulated step duration and parked
 # injection counts per queue depth, the MD-traffic counterpart of the
-# synthetic knees in BENCH_saturation.json.
+# synthetic knees in BENCH_saturation.json. Like bench-parallel, a
+# single-core host writes to /tmp so its shard timings never overwrite
+# the committed multicore artifact.
 bench-md:
-	$(GO) test -run '^$$' -bench 'TimestepShards|MDBackpressure' -benchmem -count=1 -timeout 1800s ./internal/machine | $(GO) run ./cmd/benchjson > BENCH_md.json
+	@ncpu=$$(getconf _NPROCESSORS_ONLN); \
+	if [ "$$ncpu" -le 1 ]; then \
+		echo "bench-md: 1-core host — writing /tmp/BENCH_md.json, keeping committed multicore baseline"; \
+		$(GO) test -run '^$$' -bench 'TimestepShards|MDBackpressure' -benchmem -count=1 -timeout 1800s ./internal/machine | $(GO) run ./cmd/benchjson > /tmp/BENCH_md.json; \
+	else \
+		$(GO) test -run '^$$' -bench 'TimestepShards|MDBackpressure' -benchmem -count=1 -timeout 1800s ./internal/machine | $(GO) run ./cmd/benchjson > BENCH_md.json; \
+	fi
 
 # staticcheck runs when installed (CI installs it; the target stays green
 # on machines without it rather than failing or fetching a dependency).

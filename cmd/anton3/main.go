@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -21,6 +22,7 @@ import (
 
 	"anton3/internal/experiments"
 	"anton3/internal/packet"
+	"anton3/internal/resultstore"
 	"anton3/internal/runner"
 	"anton3/internal/topo"
 )
@@ -54,6 +56,9 @@ func run() int {
 	vcq := fs.Int("vcq", 0, "saturate per-VC ingress queue depth in flits (0 = bandwidth-delay default)")
 	injq := fs.Int("injq", 0, "saturate per-source injection window in packets (0 = default)")
 	autoshard := fs.Bool("autoshard", false, "grant spare cores to netsweep/saturate cells as kernel shards at dispatch")
+	cache := cacheMode("off")
+	fs.Var(&cache, "cache", "memoize sweep results in the content-addressed store: -cache (read/write), -cache=readonly; default off")
+	cachedir := fs.String("cachedir", "", "result-cache directory (default <user cache dir>/anton3, e.g. ~/.cache/anton3)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
 	fs.Parse(os.Args[2:])
@@ -114,7 +119,30 @@ func run() int {
 			*jobs, *shards, maxprocs)
 	}
 
+	// The result cache is off by default, so every command's output stays
+	// byte-identical to an uncached tree; with it on, memoized cells and
+	// probes short-circuit — same bytes on stdout, the hit/miss/stored
+	// counters land in the -json report and the stderr summary.
+	var store *resultstore.Store
+	if cache != "off" {
+		dir := *cachedir
+		if dir == "" {
+			base, err := os.UserCacheDir()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "anton3: -cache needs -cachedir (no user cache dir):", err)
+				return 2
+			}
+			dir = filepath.Join(base, "anton3")
+		}
+		var err error
+		if store, err = resultstore.Open(dir, cache == "readonly"); err != nil {
+			fmt.Fprintln(os.Stderr, "anton3:", err)
+			return 1
+		}
+	}
+
 	p := experiments.DefaultParams()
+	p.Cache = store
 	p.NetShards = *shards
 	p.MDShards = *shards
 	p.Fig5Pairs = *pairs
@@ -158,7 +186,7 @@ func run() int {
 	// appear in the JSON report.
 	// Auto-sharding only composes with the worker budget when cells are
 	// not already explicitly sharded via -shards.
-	opts := runner.Options{AutoShard: *autoshard && *shards <= 1}
+	opts := runner.Options{AutoShard: *autoshard && *shards <= 1, Cache: store}
 	rep, err := runner.RunEmitOpts(selected, *jobs, opts, func(res runner.Result) {
 		if !res.Hidden {
 			fmt.Println(res.Text)
@@ -167,6 +195,10 @@ func run() int {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "runner: %d jobs on %d workers in %.2fs wall, %.2fs CPU (speedup %.2fx)\n",
 			rep.Jobs, rep.Workers, float64(rep.WallNs)/1e9, float64(rep.CPUNs)/1e9, rep.Speedup)
+		if rep.Cache != nil {
+			fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d stored\n",
+				rep.Cache.Hits, rep.Cache.Misses, rep.Cache.Stored)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anton3:", err)
@@ -182,6 +214,29 @@ func run() int {
 	}
 	return 0
 }
+
+// cacheMode is the tri-state -cache flag: bool-like, so bare `-cache`
+// means read/write and `-cache=readonly` consults without storing.
+type cacheMode string
+
+func (m *cacheMode) String() string { return string(*m) }
+
+func (m *cacheMode) Set(v string) error {
+	switch v {
+	case "", "true", "on", "rw":
+		*m = "on"
+	case "false", "off":
+		*m = "off"
+	case "readonly", "ro":
+		*m = "readonly"
+	default:
+		return fmt.Errorf("bad cache mode %q (want on, off or readonly)", v)
+	}
+	return nil
+}
+
+// IsBoolFlag lets bare `-cache` enable read/write mode.
+func (m *cacheMode) IsBoolFlag() bool { return true }
 
 func parseShapes(s string) ([]topo.Shape, error) {
 	var out []topo.Shape
@@ -248,6 +303,13 @@ flags (after the subcommand):
              mdsweep cell) starts while the core budget exceeds the runnable
              jobs, run it sharded across the spare cores (byte-identical
              output; running cells never re-shard)
+  -cache     memoize sweep results (netsweep/saturate/mdsweep cells and
+             every closed-loop knee probe) in a content-addressed store
+             keyed by (experiment, full config, seed, schema version):
+             warm re-runs and revisited probe loads become cache hits
+             with byte-identical stdout; -cache=readonly consults without
+             storing; default off (output byte-identical to older trees)
+  -cachedir P  store directory (default <user cache dir>/anton3)
   -json P    write the runner report (per-job rows and timings) to P
   -q         suppress the runner summary line on stderr
   -pairs, -atoms, -steps, -warm, -measure   experiment sizes (see -h)

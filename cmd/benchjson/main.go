@@ -8,12 +8,13 @@
 //
 // With -gate, the fresh results are additionally compared against a
 // committed baseline report, and the run fails (exit 1, after still
-// writing the fresh JSON) if any baseline bench whose name contains
-// -gate-bench got slower than ns_per_op x -gate-factor. CI runs the
-// hot-path lane through this so a SendHotPath regression >10% cannot land
-// with a green build:
+// writing the fresh JSON) if any baseline bench whose name contains one of
+// the comma-separated -gate-bench substrings got slower than
+// ns_per_op x -gate-factor. CI runs the hot-path lane through this so a
+// SendHotPath or Netsweep regression >10% cannot land with a green build,
+// and the parallel lane gates NetsweepShards the same way:
 //
-//	... | go run ./cmd/benchjson -gate BENCH_hotpath.json -gate-bench SendHotPath > new.json
+//	... | go run ./cmd/benchjson -gate BENCH_hotpath.json -gate-bench SendHotPath,Netsweep > new.json
 package main
 
 import (
@@ -48,7 +49,7 @@ type Report struct {
 
 func main() {
 	gateFile := flag.String("gate", "", "committed baseline report to gate against")
-	gateBench := flag.String("gate-bench", "SendHotPath", "substring selecting which baseline benches are gated")
+	gateBench := flag.String("gate-bench", "SendHotPath", "comma-separated substrings selecting which baseline benches are gated")
 	gateFactor := flag.Float64("gate-factor", 1.10, "fail if fresh ns_per_op exceeds baseline x this factor")
 	flag.Parse()
 
@@ -94,10 +95,18 @@ func main() {
 
 // gate compares the fresh report against the committed baseline and
 // reports whether every gated bench is within factor of its baseline
-// ns_per_op. A gated baseline bench missing from the fresh run fails too
-// (a rename must not silently disarm the gate); a baseline file that does
-// not exist yet passes, so the gate bootstraps on a fresh clone.
+// ns_per_op. bench is a comma-separated substring list: a baseline bench is
+// gated when its name contains any of them. A gated baseline bench missing
+// from the fresh run fails too (a rename must not silently disarm the
+// gate); a baseline file that does not exist yet passes, so the gate
+// bootstraps on a fresh clone.
 func gate(fresh Report, file, bench string, factor float64) bool {
+	var subs []string
+	for _, s := range strings.Split(bench, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			subs = append(subs, s)
+		}
+	}
 	raw, err := os.ReadFile(file)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -118,7 +127,7 @@ func gate(fresh Report, file, bench string, factor float64) bool {
 	}
 	ok := true
 	for _, b := range base.Benches {
-		if !strings.Contains(b.Name, bench) || b.NsPerOp <= 0 {
+		if !gated(b.Name, subs) || b.NsPerOp <= 0 {
 			continue
 		}
 		got, have := cur[b.Name]
@@ -137,6 +146,16 @@ func gate(fresh Report, file, bench string, factor float64) bool {
 		}
 	}
 	return ok
+}
+
+// gated reports whether name contains any of the gate substrings.
+func gated(name string, subs []string) bool {
+	for _, s := range subs {
+		if strings.Contains(name, s) {
+			return true
+		}
+	}
+	return false
 }
 
 // parseBench reads lines of the form

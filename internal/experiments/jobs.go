@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"anton3/internal/flow"
+	"anton3/internal/resultstore"
 	"anton3/internal/route"
 	"anton3/internal/runner"
 	"anton3/internal/sim"
@@ -73,6 +74,15 @@ type Params struct {
 	// MDAtoms and MDSteps size each mdsweep cell.
 	MDAtoms int
 	MDSteps int
+
+	// Cache, when non-nil, memoizes the grid cells (netsweep, saturate,
+	// mdsweep) at two levels: whole cells short-circuit through
+	// runner.Job.CacheKey, and the saturate cells additionally memoize
+	// every closed-loop point — sweep loads and knee-search probes —
+	// inside flow. Results are a pure function of (config, seed), so
+	// caching changes wall time and the -json cache counters only, never
+	// a byte of output. nil (the default) runs everything.
+	Cache *resultstore.Store
 }
 
 // DefaultParams returns the paper-scale configuration.
@@ -179,12 +189,42 @@ func fig11Jobs() []runner.Job {
 	return jobs
 }
 
+// policyNames flattens a policy list into the cache-key config: the
+// policy set is part of what a cell's output depends on.
+func policyNames(pols []route.Policy) []string {
+	names := make([]string, len(pols))
+	for i, p := range pols {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// sweepCellCfg is the canonical cache-key config of one open- or
+// closed-loop grid cell. Shard and worker counts are deliberately
+// absent: cell output is shard-invariant, so a result computed at any
+// -shards/-jobs serves every other.
+type sweepCellCfg struct {
+	Shape    string
+	Pattern  string
+	Policies []string
+	Loads    []float64
+	Packets  int
+	Warmup   int
+	// QueueFlits/InjDepth only apply to closed-loop (saturate) cells;
+	// they hold the resolved depths, not the 0 the flags pass for
+	// "default", so a default-depth run and an explicit -vcq 64 run
+	// share entries.
+	QueueFlits int
+	InjDepth   int
+}
+
 // netsweepJobs registers one job per shape x pattern, each sweeping every
 // routing policy across the offered loads. Seeds depend on position only,
 // so the grid decomposes freely across workers. Cells are auto-shardable:
 // when the pool has idle workers and -autoshard is on, a cell's machine
 // runs across the spare cores with byte-identical output (pinned by the
-// shard-invariance tier-1 tests).
+// shard-invariance tier-1 tests). Each cell carries a content-addressed
+// cache key, armed when the pool runs with a result store.
 func netsweepJobs(p Params) []runner.Job {
 	var jobs []runner.Job
 	for si, shape := range p.NetShapes {
@@ -199,6 +239,14 @@ func netsweepJobs(p Params) []runner.Job {
 				Name: fmt.Sprintf("netsweep/%s/%s", shape, pat.Name),
 				Seed: seed,
 				Cost: 0.1 * float64(shape.Nodes()) / 16,
+				CacheKey: resultstore.KeyFor("cell/netsweep", seed, sweepCellCfg{
+					Shape:    shape.String(),
+					Pattern:  pat.Name,
+					Policies: policyNames(route.Policies()),
+					Loads:    p.NetLoads,
+					Packets:  p.NetPackets,
+					Warmup:   p.NetWarmup,
+				}),
 				Run: func(*sim.Rand) (runner.Output, error) {
 					return run(p.NetShards)
 				}}
@@ -218,16 +266,27 @@ func netsweepJobs(p Params) []runner.Job {
 // credit-echo) across the offered loads and bisecting for each policy's
 // saturation knee. Like netsweep cells they pre-draw all randomness from
 // the cell seed, so the grid is byte-identical at any worker and shard
-// count, and they are auto-shardable the same way.
+// count, and they are auto-shardable the same way. With a result store,
+// cells memoize at two grains: the whole cell through its CacheKey, and
+// — on a cell miss — every closed-loop point inside flow, so knee
+// searches never re-simulate a (policy x pattern x shape x load) probe
+// any invocation has seen.
 func saturateJobs(p Params) []runner.Job {
 	var jobs []runner.Job
+	qf, injd := p.SatQueueFlits, p.SatInjDepth
+	if qf <= 0 {
+		qf = flow.DefaultQueueFlits
+	}
+	if injd <= 0 {
+		injd = flow.DefaultInjDepth
+	}
 	for si, shape := range p.SatShapes {
 		for pi, pat := range synth.Patterns() {
 			shape, pat := shape, pat
 			seed := uint64(9000 + 100*si + pi)
 			run := func(shards int) (runner.Output, error) {
 				r := flow.Sweep(shape, route.SaturatePolicies(), pat, p.SatLoads,
-					p.SatPackets, p.SatWarmup, seed, shards, p.SatQueueFlits, p.SatInjDepth)
+					p.SatPackets, p.SatWarmup, seed, shards, p.SatQueueFlits, p.SatInjDepth, p.Cache)
 				return runner.Output{Text: r.Render(), Data: r}, nil
 			}
 			job := runner.Job{
@@ -236,6 +295,16 @@ func saturateJobs(p Params) []runner.Job {
 				// ~4 policies x (sweep + knee probes) of load-scaled
 				// closed-loop points: roughly 5x a netsweep cell.
 				Cost: 0.5 * float64(shape.Nodes()) / 16,
+				CacheKey: resultstore.KeyFor("cell/saturate", seed, sweepCellCfg{
+					Shape:      shape.String(),
+					Pattern:    pat.Name,
+					Policies:   policyNames(route.SaturatePolicies()),
+					Loads:      p.SatLoads,
+					Packets:    p.SatPackets,
+					Warmup:     p.SatWarmup,
+					QueueFlits: qf,
+					InjDepth:   injd,
+				}),
 				Run: func(*sim.Rand) (runner.Output, error) {
 					return run(p.NetShards)
 				}}
@@ -309,6 +378,12 @@ func mdsweepJobs(p Params) []runner.Job {
 			// Each cell runs len(MDQueueDepths) full timestep pipelines
 			// at the fig9b 8000-atom scale.
 			Cost: 10,
+			CacheKey: resultstore.KeyFor("cell/mdsweep", uint64(9500+pi), struct {
+				Policy string
+				Atoms  int
+				Steps  int
+				Depths []int
+			}{pol.Name(), p.MDAtoms, p.MDSteps, MDQueueDepths}),
 			Run: func(*sim.Rand) (runner.Output, error) {
 				return run(p.MDShards)
 			}}

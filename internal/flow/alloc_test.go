@@ -91,7 +91,7 @@ func BenchmarkSaturationKnee(b *testing.B) {
 			var knee float64
 			for i := 0; i < b.N; i++ {
 				curves := SweepPattern(shape, []route.Policy{pol}, synth.BitComplement(),
-					loads, 96, 32, 7000, 1, 0, 0)
+					loads, 96, 32, 7000, 1, 0, 0, nil)
 				knee = curves[0].Knee
 			}
 			b.ReportMetric(knee, "knee_load")

@@ -19,6 +19,7 @@ import (
 
 	"anton3/internal/machine"
 	"anton3/internal/packet"
+	"anton3/internal/resultstore"
 	"anton3/internal/route"
 	"anton3/internal/serdes"
 	"anton3/internal/sim"
@@ -98,9 +99,37 @@ type Harness struct {
 	lastEntry []sim.Time
 	all       []float64
 
-	// PointsRun counts RunPoint calls over the harness's lifetime; the
-	// knee-search tests use it to pin the probe budget.
+	// PointsRun counts the points this harness actually simulated over
+	// its lifetime — cache hits are excluded — so the knee-search and
+	// warm-cache tests can pin probe budgets.
 	PointsRun int
+
+	// Cache, when non-nil, memoizes every RunPoint result in the store,
+	// content-addressed by (shape, policy, pattern, queue depths, load,
+	// per-node budgets, seed) — see resultstore.KeyFor. A hit returns
+	// the recorded Point without touching the machine; results are
+	// bit-identical either way because a point is a pure function of
+	// that key (the shard count deliberately stays out of it — the
+	// machine's shard-invariance guarantee makes results shared across
+	// shard counts). Set it right after NewHarness, before any point
+	// runs.
+	Cache *resultstore.Store
+
+	// keyCfg carries the harness-constant part of the cache key.
+	keyCfg pointKeyCfg
+}
+
+// pointKeyCfg is the full configuration a closed-loop point depends on
+// besides its seed; it becomes the canonical cache-key config.
+type pointKeyCfg struct {
+	Shape      string
+	Policy     string
+	Pattern    string
+	QueueFlits int
+	InjDepth   int
+	Load       float64
+	Packets    int
+	Warmup     int
 }
 
 // NewHarness builds the closed-loop measurement machine: compression off
@@ -128,6 +157,12 @@ func NewHarness(shape topo.Shape, policy route.Policy, shards, queueFlits, injDe
 		core:  m.GC(shape.CoordOf(0), 0).ID,
 		base:  m.Node(shape.CoordOf(0)).Channel(refCh).SerializeTime(synth.RefPacketBits),
 		injQ:  injDepth,
+		keyCfg: pointKeyCfg{
+			Shape:      shape.String(),
+			Policy:     policy.Name(),
+			QueueFlits: queueFlits,
+			InjDepth:   injDepth,
+		},
 	}
 	P := m.NumShards()
 	h.sinks = make([]sink, P)
@@ -267,6 +302,25 @@ func (h *Harness) RunPoint(pat synth.Pattern, load float64, packets, warmup int,
 	if load <= 0 || packets <= 0 {
 		panic("flow: load and packet count must be positive")
 	}
+	if h.Cache == nil {
+		return h.runPoint(pat, load, packets, warmup, seed)
+	}
+	cfg := h.keyCfg
+	cfg.Pattern = pat.Name
+	cfg.Load = load
+	cfg.Packets, cfg.Warmup = packets, warmup
+	key := resultstore.KeyFor("flow/point", seed, cfg)
+	var pt Point
+	if h.Cache.Get(key, &pt) {
+		return pt
+	}
+	pt = h.runPoint(pat, load, packets, warmup, seed)
+	h.Cache.Put(key, pt)
+	return pt
+}
+
+// runPoint is the simulation body of RunPoint (cache misses land here).
+func (h *Harness) runPoint(pat synth.Pattern, load float64, packets, warmup int, seed uint64) Point {
 	h.PointsRun++
 	if scale := math.Max(1, load); scale > 1 {
 		packets = int(math.Ceil(float64(packets) * scale))

@@ -136,7 +136,7 @@ func TestKneeSearch(t *testing.T) {
 	// to register, which sets the per-node packet budget's floor.
 	packets, warmup := 96, 32
 	curves := SweepPattern(shape, []route.Policy{route.XYZ()}, synth.BitComplement(),
-		loads, packets, warmup, 21, 1, 0, 0)
+		loads, packets, warmup, 21, 1, 0, 0, nil)
 	c := curves[0]
 	if c.KneeLB {
 		t.Fatalf("bitcomp/xyz reported knee lower bound %.3f; expected a located knee", c.Knee)
@@ -159,7 +159,7 @@ func TestKneeSearch(t *testing.T) {
 		return
 	}
 	again := SweepPattern(shape, []route.Policy{route.XYZ()}, synth.BitComplement(),
-		loads, packets, warmup, 21, 1, 0, 0)
+		loads, packets, warmup, 21, 1, 0, 0, nil)
 	if again[0].Knee != c.Knee {
 		t.Fatalf("knee not reproducible: %.6f vs %.6f", again[0].Knee, c.Knee)
 	}
@@ -170,7 +170,7 @@ func TestKneeSearch(t *testing.T) {
 func TestRenderStable(t *testing.T) {
 	shape := topo.Shape{X: 2, Y: 2, Z: 2}
 	r := Sweep(shape, route.SaturatePolicies()[:2], synth.Uniform(),
-		[]float64{0.5, 2}, 6, 2, 3, 1, 0, 0)
+		[]float64{0.5, 2}, 6, 2, 3, 1, 0, 0, nil)
 	text := r.Render()
 	for _, want := range []string{"Saturate: pattern uniform", "offered", "random acc", "xyz acc", "saturation knee:"} {
 		if !contains(text, want) {

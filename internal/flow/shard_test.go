@@ -59,10 +59,10 @@ func TestSaturateSweepShardInvariance(t *testing.T) {
 	shape := topo.Shape{X: 2, Y: 2, Z: 4}
 	pols := route.SaturatePolicies()
 	loads := []float64{0.5, 2}
-	ref := Sweep(shape, pols, synth.Tornado(), loads, 16, 4, 99, 1, 0, 0)
+	ref := Sweep(shape, pols, synth.Tornado(), loads, 16, 4, 99, 1, 0, 0, nil)
 	refText := ref.Render()
 	for _, shards := range []int{2, 4} {
-		got := Sweep(shape, pols, synth.Tornado(), loads, 16, 4, 99, shards, 0, 0)
+		got := Sweep(shape, pols, synth.Tornado(), loads, 16, 4, 99, shards, 0, 0, nil)
 		if !reflect.DeepEqual(got, ref) {
 			t.Fatalf("sweep at %d shards differs:\n%s\nvs\n%s", shards, got.Render(), refText)
 		}

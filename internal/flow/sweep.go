@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"anton3/internal/resultstore"
 	"anton3/internal/route"
 	"anton3/internal/synth"
 	"anton3/internal/topo"
@@ -116,11 +117,18 @@ func findKnee(h *Harness, pat synth.Pattern, pts []Point, packets, warmup int, s
 // traffic (paired comparison); cells of one policy share one machine
 // (reset between loads), which keeps the sweep's steady state
 // allocation-free. Loads must be ascending.
-func SweepPattern(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, shards, queueFlits, injDepth int) []Curve {
+//
+// cache, when non-nil, memoizes every point — the swept loads and the
+// knee-search probes — so a re-run of the same cell, or a knee search
+// revisiting a load another invocation probed, short-circuits to the
+// recorded Point with bit-identical curves and knees. nil runs
+// everything, exactly as before the store existed.
+func SweepPattern(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, shards, queueFlits, injDepth int, cache *resultstore.Store) []Curve {
 	curves := make([]Curve, len(policies))
 	for pi, pol := range policies {
 		c := Curve{Policy: pol.Name()}
 		h := NewHarness(shape, pol, shards, queueFlits, injDepth)
+		h.Cache = cache
 		for li, load := range loads {
 			c.Points = append(c.Points, h.RunPoint(
 				pat, load, packets, warmup, seed+uint64(li)*9176,
@@ -143,7 +151,7 @@ type Result struct {
 }
 
 // Sweep runs SweepPattern and packages the result for reports.
-func Sweep(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, shards, queueFlits, injDepth int) Result {
+func Sweep(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, shards, queueFlits, injDepth int, cache *resultstore.Store) Result {
 	if queueFlits <= 0 {
 		queueFlits = DefaultQueueFlits
 	}
@@ -156,7 +164,7 @@ func Sweep(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads [
 		Pattern:    pat.Name,
 		QueueFlits: queueFlits,
 		InjDepth:   injDepth,
-		Curves:     SweepPattern(shape, policies, pat, loads, packets, warmup, seed, shards, queueFlits, injDepth),
+		Curves:     SweepPattern(shape, policies, pat, loads, packets, warmup, seed, shards, queueFlits, injDepth, cache),
 	}
 }
 

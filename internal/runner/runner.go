@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"anton3/internal/resultstore"
 	"anton3/internal/sim"
 )
 
@@ -62,6 +63,17 @@ type Job struct {
 	// while keeping output byte-identical at any worker count.
 	Needs  []string
 	Reduce func(rng *sim.Rand, inputs []Result) (Output, error)
+	// CacheKey, when valid and the pool runs with Options.Cache, lets
+	// the job short-circuit: a stored Output under the key is returned
+	// without calling Run (or ShardRun), and a computed Output is stored
+	// back on success. The key must capture the job's entire
+	// configuration and seed (resultstore.KeyFor); the job must be a
+	// pure function of them. Only Run jobs may carry a key — a cached
+	// Data field round-trips through JSON as generic values
+	// (maps/slices), so jobs whose Results a Reduce consumes with type
+	// assertions must not be memoized, and resolveDeps rejects both a
+	// keyed Reduce job and a keyed dependency.
+	CacheKey resultstore.Key
 	// ShardRun, when set alongside Run, lets the pool run the job with
 	// extra kernel shards when workers would otherwise idle (see
 	// Options.AutoShard): the pool calls ShardRun(rng, n) instead of Run
@@ -85,6 +97,13 @@ type Options struct {
 	// visible at its dispatch. Jobs without ShardRun are unaffected, and
 	// output is byte-identical either way.
 	AutoShard bool
+	// Cache arms Job.CacheKey memoization: jobs with a valid key consult
+	// the store before running and record their Output after. nil (the
+	// zero value) disables caching entirely — keys are ignored and every
+	// job runs. Because stored outputs are exactly what the job
+	// produced, Text output is byte-identical with the cache on, off,
+	// cold or warm.
+	Cache *resultstore.Store
 }
 
 // Result is one job's outcome inside a Report.
@@ -96,6 +115,10 @@ type Result struct {
 	Data   any    `json:"data,omitempty"`
 	WallNs int64  `json:"wall_ns"`
 	Err    string `json:"err,omitempty"`
+	// Cached marks a result served from Options.Cache instead of a Run
+	// call. Text is byte-identical to a fresh run; Data round-trips
+	// through the store as generic JSON values.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Report aggregates a pool run.
@@ -114,6 +137,10 @@ type Report struct {
 	SerialNs int64    `json:"serial_ns"` // sum of per-job wall times
 	Speedup  float64  `json:"speedup"`   // CPUNs / WallNs (SerialNs fallback)
 	Results  []Result `json:"results"`   // in submission order
+	// Cache snapshots the result store's traffic for this run (job-level
+	// hits plus any probe-level traffic the jobs generated inside the
+	// same store); present only when the pool ran with Options.Cache.
+	Cache *resultstore.Stats `json:"cache,omitempty"`
 }
 
 // Run executes jobs on a pool of workers goroutines and returns the
@@ -151,6 +178,13 @@ func RunEmitOpts(jobs []Job, workers int, opts Options, emit func(Result)) (Repo
 		return rep, nil
 	}
 
+	var cacheStart resultstore.Stats
+	if opts.Cache != nil {
+		// Report.Cache is this run's traffic, so the store's counters —
+		// cumulative over its lifetime, it may serve many runs — are
+		// snapshotted here and the delta taken after the pool drains.
+		cacheStart = opts.Cache.Stats()
+	}
 	deps, dependents, err := resolveDeps(jobs)
 	if err != nil {
 		return rep, err
@@ -190,7 +224,17 @@ func RunEmitOpts(jobs []Job, workers int, opts Options, emit func(Result)) (Repo
 				t0 := time.Now()
 				var out Output
 				var err error
+				memo := opts.Cache != nil && job.CacheKey.Valid()
+				if memo {
+					var co cachedOutput
+					if opts.Cache.Get(job.CacheKey, &co) {
+						out = Output{Text: co.Text, Data: co.Data}
+						res.Cached = true
+					}
+				}
 				switch {
+				case res.Cached:
+					// Memoized: the stored Output is what Run produced.
 				case job.Reduce != nil:
 					// The receive of each dependency's index on done
 					// ordered its Results write before this job was
@@ -204,6 +248,9 @@ func RunEmitOpts(jobs []Job, workers int, opts Options, emit func(Result)) (Repo
 					out, err = job.ShardRun(sim.NewRand(job.Seed), wk.shards)
 				default:
 					out, err = job.Run(sim.NewRand(job.Seed))
+				}
+				if memo && !res.Cached && err == nil {
+					opts.Cache.Put(job.CacheKey, cachedOutput{Text: out.Text, Data: out.Data})
 				}
 				res.WallNs = time.Since(t0).Nanoseconds()
 				if err != nil {
@@ -293,6 +340,13 @@ func RunEmitOpts(jobs []Job, workers int, opts Options, emit func(Result)) (Repo
 	if cpu1 := processCPUNs(); cpu1 > cpu0 {
 		rep.CPUNs = cpu1 - cpu0
 	}
+	if opts.Cache != nil {
+		st := opts.Cache.Stats()
+		st.Hits -= cacheStart.Hits
+		st.Misses -= cacheStart.Misses
+		st.Stored -= cacheStart.Stored
+		rep.Cache = &st
+	}
 
 	var firstErr error
 	for _, r := range rep.Results {
@@ -311,10 +365,20 @@ func RunEmitOpts(jobs []Job, workers int, opts Options, emit func(Result)) (Repo
 	return rep, firstErr
 }
 
+// cachedOutput is the stored envelope of a memoized job: exactly the
+// Output fields a fresh Run produces. Data comes back as generic JSON
+// values, which is why memoization is restricted to jobs nothing
+// type-asserts against.
+type cachedOutput struct {
+	Text string `json:"text"`
+	Data any    `json:"data,omitempty"`
+}
+
 // resolveDeps validates names and Needs references and returns, per job,
 // the indices it depends on and the indices depending on it. Unknown
-// names, duplicate names, mis-set Run/Reduce, and dependency cycles are
-// errors — caught before any worker starts.
+// names, duplicate names, mis-set Run/Reduce, cache keys where a cached
+// (generic-JSON) Data could leak into a Reduce's type assertions, and
+// dependency cycles are errors — caught before any worker starts.
 func resolveDeps(jobs []Job) (deps, dependents [][]int, err error) {
 	idxByName := make(map[string]int, len(jobs))
 	for i, j := range jobs {
@@ -338,6 +402,9 @@ func resolveDeps(jobs []Job) (deps, dependents [][]int, err error) {
 		if j.ShardRun != nil {
 			return nil, nil, fmt.Errorf("runner: job %q sets ShardRun on a Reduce job", j.Name)
 		}
+		if j.CacheKey.Valid() {
+			return nil, nil, fmt.Errorf("runner: job %q sets CacheKey on a Reduce job", j.Name)
+		}
 		if j.Reduce == nil || j.Run != nil {
 			return nil, nil, fmt.Errorf("runner: job %q has Needs and must set Reduce (and not Run)", j.Name)
 		}
@@ -351,6 +418,15 @@ func resolveDeps(jobs []Job) (deps, dependents [][]int, err error) {
 			}
 			deps[i] = append(deps[i], d)
 			dependents[d] = append(dependents[d], i)
+		}
+	}
+	// A memoized dependency would hand its Reduce a Data field that
+	// round-tripped through the store as generic JSON; reject the
+	// combination outright rather than let type assertions panic on a
+	// warm cache only.
+	for i, j := range jobs {
+		if j.CacheKey.Valid() && len(dependents[i]) > 0 {
+			return nil, nil, fmt.Errorf("runner: job %q sets CacheKey but its Result feeds a Reduce job", j.Name)
 		}
 	}
 	// Kahn's algorithm: if the peel doesn't consume every job, the rest
