@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short alloc-gate bench bench-parallel bench-saturate bench-md lint ci
+.PHONY: build test test-short alloc-gate bench bench-parallel bench-saturate bench-md bench-faults lint ci
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,12 @@ test:
 	$(GO) test ./...
 
 # The CI fast lane: reduced-size (not skipped) tests under the race
-# detector, the allocation gate, plus the netsweep, saturate and MD
-# timestep CLI smokes (the saturate and fig12 smokes also diff sharded
-# vs sequential output — shard-count invariance end to end) and the
-# cache smoke (cold + warm -cache runs byte-identical to uncached, warm
-# run executing zero probes).
+# detector, the allocation gate, plus the netsweep, saturate, faultsweep
+# and MD timestep CLI smokes (the saturate, faultsweep and fig12 smokes
+# also diff sharded vs sequential output — shard-count invariance end to
+# end; the faultsweep smoke pins a dead-link cell with rerouting live) and
+# the cache smoke (cold + warm -cache runs byte-identical to uncached,
+# warm run executing zero probes).
 test-short:
 	$(GO) test -short -race ./...
 	$(MAKE) alloc-gate
@@ -24,6 +25,9 @@ test-short:
 	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q > /tmp/anton3-sat-seq.txt
 	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q -shards 2 > /tmp/anton3-sat-sh2.txt
 	diff /tmp/anton3-sat-seq.txt /tmp/anton3-sat-sh2.txt
+	$(GO) run ./cmd/anton3 faultsweep -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -faults "0,0,0:x+:dead" -q > /tmp/anton3-fault-seq.txt
+	$(GO) run ./cmd/anton3 faultsweep -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -faults "0,0,0:x+:dead" -q -shards 2 > /tmp/anton3-fault-sh2.txt
+	diff /tmp/anton3-fault-seq.txt /tmp/anton3-fault-sh2.txt
 	$(GO) run ./cmd/anton3 fig12 -atoms 3000 -steps 2 -q > /tmp/anton3-md-seq.txt
 	$(GO) run ./cmd/anton3 fig12 -atoms 3000 -steps 2 -q -shards 2 > /tmp/anton3-md-sh2.txt
 	diff /tmp/anton3-md-seq.txt /tmp/anton3-md-sh2.txt
@@ -56,6 +60,7 @@ bench:
 	mv BENCH_hotpath.json.tmp BENCH_hotpath.json
 	$(MAKE) bench-parallel
 	$(MAKE) bench-saturate
+	$(MAKE) bench-faults
 	$(MAKE) bench-md
 	$(GO) run ./cmd/anton3 all -json BENCH_runner.json > /dev/null
 
@@ -87,6 +92,15 @@ bench-parallel:
 # routing story is tracked over time like the perf numbers.
 bench-saturate:
 	$(GO) test -run '^$$' -bench 'SaturatePoint|SaturationKnee' -benchtime=1x -benchmem -count=1 -timeout 1800s ./internal/flow | $(GO) run ./cmd/benchjson > BENCH_saturation.json
+
+# The fault-degradation report: per-policy bit-complement saturation knees
+# under the drawn link-fault severity grid (degraded bandwidth, one dead
+# link, four dead links, a directed plane cut), as knee metrics and shifts
+# vs the healthy baseline. Committed per PR next to BENCH_saturation.json:
+# the knees quantify graceful degradation, the shifts are the fault-aware
+# rerouting story tracked over time.
+bench-faults:
+	$(GO) test -run '^$$' -bench 'FaultKneeShift' -benchtime=1x -benchmem -count=1 -timeout 1800s ./internal/flow | $(GO) run ./cmd/benchjson > BENCH_faults.json
 
 # The MD timestep report: ns/step for one 8000-atom water cell at 1/2/4
 # kernel shards (byte-identical results, wall clock only — the shards=1

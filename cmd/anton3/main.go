@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	anton3 <tables|fig5|fig6|fig9a|fig9b|fig11|fig12|ablations|netsweep|saturate|mdsweep|all> [flags]
+//	anton3 <tables|fig5|fig6|fig9a|fig9b|fig11|fig12|ablations|netsweep|saturate|mdsweep|faultsweep|all> [flags]
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"anton3/internal/experiments"
+	"anton3/internal/fault"
 	"anton3/internal/packet"
 	"anton3/internal/resultstore"
 	"anton3/internal/runner"
@@ -53,6 +54,8 @@ func run() int {
 	nwarm := fs.Int("nwarm", 32, "netsweep/saturate warmup packets per node")
 	mdatoms := fs.Int("mdatoms", 8000, "atom count per mdsweep cell")
 	mdsteps := fs.Int("mdsteps", 2, "timesteps per mdsweep cell")
+	faults := fs.String("faults", "", "faultsweep custom fault plan, e.g. '0,0,0:x+:dead;1,0,0:z-:bw/2@3us' (default: drawn severity grid)")
+	faultseed := fs.Uint64("faultseed", 1, "seed for the drawn faultsweep severity grid")
 	vcq := fs.Int("vcq", 0, "saturate per-VC ingress queue depth in flits (0 = bandwidth-delay default)")
 	injq := fs.Int("injq", 0, "saturate per-source injection window in packets (0 = default)")
 	autoshard := fs.Bool("autoshard", false, "grant spare cores to netsweep/saturate cells as kernel shards at dispatch")
@@ -155,6 +158,9 @@ func run() int {
 	p.NetWarmup = *nwarm
 	p.Saturate = cmd == "saturate"
 	p.MDSweep = cmd == "mdsweep"
+	p.FaultSweep = cmd == "faultsweep"
+	p.FaultSeed = *faultseed
+	p.FaultPlan = *faults
 	p.MDAtoms = *mdatoms
 	p.MDSteps = *mdsteps
 	p.SatPackets = *npkts
@@ -172,6 +178,23 @@ func run() int {
 		return 2
 	}
 	p.SatLoads = p.NetLoads
+
+	// Validate a custom fault plan up front, against every selected shape:
+	// a plan naming a channel outside a shape must die here with a readable
+	// message, not as a panic deep inside machine construction.
+	if *faults != "" {
+		plan, perr := fault.Parse(*faults)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "anton3: -faults:", perr)
+			return 2
+		}
+		for _, shape := range p.SatShapes {
+			if verr := plan.Validate(shape); verr != nil {
+				fmt.Fprintf(os.Stderr, "anton3: -faults plan does not fit shape %s: %v\n", shape, verr)
+				return 2
+			}
+		}
+	}
 
 	selected := experiments.SelectJobs(experiments.Jobs(p), cmd)
 	if len(selected) == 0 {
@@ -290,8 +313,12 @@ subcommands:
              saturation knee, 4 policies (incl. credit-echo) x 6 patterns
   mdsweep    closed-loop MD backpressure: real timestep traffic against
              bounded per-VC queues, per routing policy x queue depth
-  all        everything above except saturate/mdsweep (kept byte-stable
-             across PRs)
+  faultsweep link-fault knee-shift grid: saturation knee under degraded and
+             dead links (drawn severity grid or a custom -faults plan),
+             reported as percent shift vs the healthy baseline, 4 policies
+             x 6 patterns with fault-aware escape rerouting
+  all        everything above except saturate/mdsweep/faultsweep (kept
+             byte-stable across PRs)
 
 flags (after the subcommand):
   -jobs N    worker count; independent experiments run in parallel (0 = all cores)
@@ -316,5 +343,10 @@ flags (after the subcommand):
   -shapes, -loads, -npkts, -nwarm           netsweep/saturate grid (see -h)
   -vcq N, -injq N                           saturate queue/window depths
   -mdatoms N, -mdsteps N                    mdsweep cell size
+  -faults PLAN  faultsweep custom plan: ';'-separated link faults, each
+             X,Y,Z:<dim><dir>[.<slice>]:<effect,...>[@trip] with effects
+             dead, bw/K, lat*M and an optional trip time (ps/ns/us);
+             default is the severity grid drawn from -faultseed
+  -faultseed N  seed for the drawn faultsweep severity grid
   -cpuprofile P, -memprofile P              write pprof profiles of the run`)
 }

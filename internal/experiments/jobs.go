@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"anton3/internal/fault"
 	"anton3/internal/flow"
 	"anton3/internal/resultstore"
 	"anton3/internal/route"
@@ -75,6 +76,19 @@ type Params struct {
 	MDAtoms int
 	MDSteps int
 
+	// FaultSweep gates the link-fault knee-shift grid (anton3 faultsweep):
+	// like Saturate, the jobs only join the registry when set. Cells reuse
+	// the saturate grid's shapes, loads, budgets and queue depths.
+	FaultSweep bool
+	// FaultSeed seeds the drawn fault-severity grid (fault.SeverityGrid):
+	// which links each severity degrades or kills is a deterministic
+	// function of (shape, FaultSeed).
+	FaultSeed uint64
+	// FaultPlan, when non-empty, replaces the drawn grid with two rows —
+	// the healthy baseline and this custom plan (fault.Parse syntax). The
+	// CLI validates it against every selected shape before jobs build.
+	FaultPlan string
+
 	// Cache, when non-nil, memoizes the grid cells (netsweep, saturate,
 	// mdsweep) at two levels: whole cells short-circuit through
 	// runner.Job.CacheKey, and the saturate cells additionally memoize
@@ -117,6 +131,8 @@ func DefaultParams() Params {
 
 		MDAtoms: 8000,
 		MDSteps: 2,
+
+		FaultSeed: 1,
 	}
 }
 
@@ -397,6 +413,82 @@ func mdsweepJobs(p Params) []runner.Job {
 	return jobs
 }
 
+// faultSevs resolves the fault-severity grid one faultsweep cell runs: the
+// custom [healthy, plan] pair when Params.FaultPlan is set (the CLI has
+// already validated it against every selected shape — a parse failure here
+// is a programming error), the drawn grid otherwise.
+func faultSevs(p Params, shape topo.Shape) []fault.Severity {
+	if p.FaultPlan == "" {
+		return fault.SeverityGrid(shape, p.FaultSeed)
+	}
+	plan, err := fault.Parse(p.FaultPlan)
+	if err != nil {
+		panic("experiments: unvalidated fault plan: " + err.Error())
+	}
+	return []fault.Severity{{Name: "healthy"}, {Name: "custom", Plan: *plan}}
+}
+
+// faultsweepJobs registers the link-fault knee-shift grid: one job per
+// shape x pattern, each locating every saturate policy's knee under every
+// severity of the fault grid and reporting the shift against the healthy
+// baseline. Severity plans are canonicalized into the cache key, so a
+// different -faultseed (different drawn links) or -faults plan can never
+// collide with a cached cell; healthy probe points inside flow share
+// entries with saturate's.
+func faultsweepJobs(p Params) []runner.Job {
+	var jobs []runner.Job
+	qf, injd := p.SatQueueFlits, p.SatInjDepth
+	if qf <= 0 {
+		qf = flow.DefaultQueueFlits
+	}
+	if injd <= 0 {
+		injd = flow.DefaultInjDepth
+	}
+	for si, shape := range p.SatShapes {
+		sevs := faultSevs(p, shape)
+		canons := make([]string, len(sevs))
+		for i, sev := range sevs {
+			canons[i] = sev.Name + "=" + sev.Plan.Canon()
+		}
+		for pi, pat := range synth.Patterns() {
+			shape, pat, sevs := shape, pat, sevs
+			seed := uint64(9700 + 100*si + pi)
+			run := func(shards int) (runner.Output, error) {
+				r := flow.FaultSweep(shape, route.SaturatePolicies(), pat, p.SatLoads,
+					p.SatPackets, p.SatWarmup, seed, sevs, shards, p.SatQueueFlits, p.SatInjDepth, p.Cache)
+				return runner.Output{Text: r.Render(), Data: r}, nil
+			}
+			job := runner.Job{
+				Name: fmt.Sprintf("faultsweep/%s/%s", shape, pat.Name),
+				Seed: seed,
+				// len(sevs) saturate-style knee searches per cell.
+				Cost: 2.5 * float64(shape.Nodes()) / 16,
+				CacheKey: resultstore.KeyFor("cell/faultsweep", seed, struct {
+					Shape      string
+					Pattern    string
+					Policies   []string
+					Loads      []float64
+					Packets    int
+					Warmup     int
+					QueueFlits int
+					InjDepth   int
+					Severities []string
+				}{shape.String(), pat.Name, policyNames(route.SaturatePolicies()),
+					p.SatLoads, p.SatPackets, p.SatWarmup, qf, injd, canons}),
+				Run: func(*sim.Rand) (runner.Output, error) {
+					return run(p.NetShards)
+				}}
+			if p.NetShards <= 1 {
+				job.ShardRun = func(_ *sim.Rand, shards int) (runner.Output, error) {
+					return run(shards)
+				}
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	return jobs
+}
+
 // Jobs returns every table, figure and ablation of the paper as runner
 // jobs, in the order cmd/anton3 has always printed them, followed by the
 // netsweep policy/pattern grid. Each job owns a private machine and
@@ -474,6 +566,9 @@ func Jobs(p Params) []runner.Job {
 	}
 	if p.MDSweep {
 		jobs = append(jobs, mdsweepJobs(p)...)
+	}
+	if p.FaultSweep {
+		jobs = append(jobs, faultsweepJobs(p)...)
 	}
 	return jobs
 }

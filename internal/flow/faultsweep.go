@@ -1,0 +1,143 @@
+package flow
+
+import (
+	"fmt"
+	"strings"
+
+	"anton3/internal/fault"
+	"anton3/internal/resultstore"
+	"anton3/internal/route"
+	"anton3/internal/synth"
+	"anton3/internal/topo"
+)
+
+// The faultsweep experiment measures graceful degradation: for each routing
+// policy it locates the saturation knee of the healthy network and of the
+// same network under a grid of link-fault severities (degraded bandwidth,
+// degraded latency, one dead link, several dead links), and reports each
+// faulted knee as a shift against the healthy baseline. The methodology is
+// the saturate experiment's — same closed-loop rig, same swept loads, same
+// per-load seeds, so the healthy row shares cache entries (and bytes) with
+// saturate cells of the same shape and pattern.
+
+// FaultRow is one fault severity's knee for one policy.
+type FaultRow struct {
+	// Severity is the grid row name ("healthy", "dead1", ...); Faults is
+	// the canonical plan it denotes (empty for the healthy baseline).
+	Severity string  `json:"severity"`
+	Faults   string  `json:"faults,omitempty"`
+	Knee     float64 `json:"knee"`
+	KneeLB   bool    `json:"knee_lb,omitempty"`
+	// ShiftPct is the knee shift vs the healthy baseline in percent:
+	// (healthy - knee) / healthy x 100, so positive means degraded.
+	ShiftPct float64 `json:"shift_pct"`
+}
+
+// FaultCurve is one policy's knee across the severity grid.
+type FaultCurve struct {
+	Policy string `json:"policy"`
+	// Healthy is the baseline knee (duplicated from the "healthy" row for
+	// convenience of report readers).
+	Healthy float64    `json:"healthy_knee"`
+	Rows    []FaultRow `json:"rows"`
+}
+
+// FaultResult is one pattern x shape table of the faultsweep experiment.
+type FaultResult struct {
+	Shape      string       `json:"shape"`
+	Nodes      int          `json:"nodes"`
+	Pattern    string       `json:"pattern"`
+	QueueFlits int          `json:"queue_flits"`
+	InjDepth   int          `json:"inj_depth"`
+	Curves     []FaultCurve `json:"curves"`
+}
+
+// FaultSweep locates every policy's saturation knee under every severity in
+// the grid. The first severity with an empty plan (conventionally sevs[0],
+// "healthy") is the baseline all shifts are measured against; if the grid
+// carries no healthy row, shifts are reported as zero. Swept loads and knee
+// probes reuse the saturate experiment's seeding, so the healthy cells are
+// bit-identical to — and cache-shared with — saturate's. Loads must be
+// ascending, as in SweepPattern.
+func FaultSweep(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, sevs []fault.Severity, shards, queueFlits, injDepth int, cache *resultstore.Store) FaultResult {
+	if queueFlits <= 0 {
+		queueFlits = DefaultQueueFlits
+	}
+	if injDepth <= 0 {
+		injDepth = DefaultInjDepth
+	}
+	res := FaultResult{
+		Shape:      shape.String(),
+		Nodes:      shape.Nodes(),
+		Pattern:    pat.Name,
+		QueueFlits: queueFlits,
+		InjDepth:   injDepth,
+		Curves:     make([]FaultCurve, len(policies)),
+	}
+	for pi, pol := range policies {
+		c := FaultCurve{Policy: pol.Name(), Rows: make([]FaultRow, 0, len(sevs))}
+		for _, sev := range sevs {
+			plan := sev.Plan
+			h := NewFaultHarness(shape, pol, shards, queueFlits, injDepth, &plan)
+			h.Cache = cache
+			var pts []Point
+			for li, load := range loads {
+				pts = append(pts, h.RunPoint(
+					pat, load, packets, warmup, seed+uint64(li)*9176,
+				))
+			}
+			row := FaultRow{Severity: sev.Name, Faults: plan.Canon()}
+			row.Knee, row.KneeLB = findKnee(h, pat, pts, packets, warmup, seed)
+			if row.Faults == "" && c.Healthy == 0 {
+				c.Healthy = row.Knee
+			}
+			c.Rows = append(c.Rows, row)
+		}
+		for ri := range c.Rows {
+			if c.Healthy > 0 {
+				c.Rows[ri].ShiftPct = (c.Healthy - c.Rows[ri].Knee) / c.Healthy * 100
+			}
+		}
+		res.Curves[pi] = c
+	}
+	return res
+}
+
+// Render formats the table: one row per fault severity with a knee/shift
+// column pair per policy, followed by a legend spelling out each severity's
+// fault plan.
+func (r FaultResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Faultsweep: pattern %s on %s (%d nodes) — saturation knee under link faults (%d-flit VC queues, %d-slot sources)\n",
+		r.Pattern, r.Shape, r.Nodes, r.QueueFlits, r.InjDepth)
+	fmt.Fprintf(&b, "%10s", "severity")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, " %12s %8s", c.Policy+" knee", "shift")
+	}
+	b.WriteByte('\n')
+	if len(r.Curves) == 0 {
+		return b.String()
+	}
+	for ri := range r.Curves[0].Rows {
+		fmt.Fprintf(&b, "%10s", r.Curves[0].Rows[ri].Severity)
+		for _, c := range r.Curves {
+			row := c.Rows[ri]
+			lb := " "
+			if row.KneeLB {
+				lb = ">"
+			}
+			fmt.Fprintf(&b, " %s%11.3f %7.1f%%", lb, row.Knee, row.ShiftPct)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("fault plans:\n")
+	for ri := range r.Curves[0].Rows {
+		row := r.Curves[0].Rows[ri]
+		plan := row.Faults
+		if plan == "" {
+			plan = "(none)"
+		}
+		fmt.Fprintf(&b, "  %-8s %s\n", row.Severity, plan)
+	}
+	return b.String()
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"anton3/internal/fault"
 	"anton3/internal/machine"
 	"anton3/internal/packet"
 	"anton3/internal/resultstore"
@@ -117,6 +118,12 @@ type Harness struct {
 
 	// keyCfg carries the harness-constant part of the cache key.
 	keyCfg pointKeyCfg
+
+	// faultCanon is the canonical fault-plan string of a fault harness
+	// (empty on healthy ones). When set, cache keys switch to the
+	// fault-carrying key config so faulted results can never collide with
+	// healthy ones — and healthy harnesses keep their PR 8 keys untouched.
+	faultCanon string
 }
 
 // pointKeyCfg is the full configuration a closed-loop point depends on
@@ -132,12 +139,40 @@ type pointKeyCfg struct {
 	Warmup     int
 }
 
+// faultPointKeyCfg is pointKeyCfg plus the canonical fault plan. It is a
+// separate struct — used only when a plan is active — so healthy points
+// hash exactly the field set they always did (resultstore hashes field
+// names and values, not the struct type), keeping every pre-fault cache
+// key byte-identical, while any one-link or one-trip-time difference in a
+// plan lands in Faults and produces a distinct key.
+type faultPointKeyCfg struct {
+	Shape      string
+	Policy     string
+	Pattern    string
+	QueueFlits int
+	InjDepth   int
+	Load       float64
+	Packets    int
+	Warmup     int
+	Faults     string
+}
+
 // NewHarness builds the closed-loop measurement machine: compression off
 // (network-only timing), per-VC ingress queues of queueFlits flits,
 // injection windows of injDepth packets, sharded across the given kernel
 // count (0 or 1 = sequential). queueFlits and injDepth of 0 take the
 // package defaults.
 func NewHarness(shape topo.Shape, policy route.Policy, shards, queueFlits, injDepth int) *Harness {
+	return NewFaultHarness(shape, policy, shards, queueFlits, injDepth, nil)
+}
+
+// NewFaultHarness is NewHarness with a link-fault plan applied to the
+// machine (nil or empty = healthy, identical to NewHarness). The load unit
+// (h.base) is always the healthy serialization time — serdes degradation
+// applies inside transmit, not SerializeTime — so offered loads on a
+// degraded network mean the same thing they mean on a healthy one, and
+// knee shifts are measured in a fixed unit.
+func NewFaultHarness(shape topo.Shape, policy route.Policy, shards, queueFlits, injDepth int, plan *fault.Plan) *Harness {
 	if queueFlits <= 0 {
 		queueFlits = DefaultQueueFlits
 	}
@@ -149,6 +184,9 @@ func NewHarness(shape topo.Shape, policy route.Policy, shards, queueFlits, injDe
 	mcfg.Policy = policy
 	mcfg.Shards = shards
 	mcfg.VCQueueFlits = queueFlits
+	if !plan.Empty() {
+		mcfg.Faults = plan
+	}
 	m := machine.New(mcfg)
 	refCh := m.Node(shape.CoordOf(0)).ChannelSpecs()[0]
 	h := &Harness{
@@ -163,6 +201,9 @@ func NewHarness(shape topo.Shape, policy route.Policy, shards, queueFlits, injDe
 			QueueFlits: queueFlits,
 			InjDepth:   injDepth,
 		},
+	}
+	if !plan.Empty() {
+		h.faultCanon = plan.Canon()
 	}
 	P := m.NumShards()
 	h.sinks = make([]sink, P)
@@ -309,7 +350,7 @@ func (h *Harness) RunPoint(pat synth.Pattern, load float64, packets, warmup int,
 	cfg.Pattern = pat.Name
 	cfg.Load = load
 	cfg.Packets, cfg.Warmup = packets, warmup
-	key := resultstore.KeyFor("flow/point", seed, cfg)
+	key := h.pointKey(seed, cfg)
 	var pt Point
 	if h.Cache.Get(key, &pt) {
 		return pt
@@ -317,6 +358,26 @@ func (h *Harness) RunPoint(pat synth.Pattern, load float64, packets, warmup int,
 	pt = h.runPoint(pat, load, packets, warmup, seed)
 	h.Cache.Put(key, pt)
 	return pt
+}
+
+// pointKey builds the cache key for one fully specified point: the plain
+// pointKeyCfg on a healthy harness (byte-identical to every key minted
+// before fault injection existed), the fault-carrying config otherwise.
+func (h *Harness) pointKey(seed uint64, cfg pointKeyCfg) resultstore.Key {
+	if h.faultCanon == "" {
+		return resultstore.KeyFor("flow/point", seed, cfg)
+	}
+	return resultstore.KeyFor("flow/point", seed, faultPointKeyCfg{
+		Shape:      cfg.Shape,
+		Policy:     cfg.Policy,
+		Pattern:    cfg.Pattern,
+		QueueFlits: cfg.QueueFlits,
+		InjDepth:   cfg.InjDepth,
+		Load:       cfg.Load,
+		Packets:    cfg.Packets,
+		Warmup:     cfg.Warmup,
+		Faults:     h.faultCanon,
+	})
 }
 
 // runPoint is the simulation body of RunPoint (cache misses land here).

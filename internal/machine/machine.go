@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"anton3/internal/chip"
+	"anton3/internal/fault"
 	"anton3/internal/fence"
 	"anton3/internal/mem"
 	"anton3/internal/packet"
@@ -39,6 +40,15 @@ type Config struct {
 	// merged at a window barrier. 0 or 1 means the classic single-kernel
 	// machine; values above the node count are clamped.
 	Shards int
+	// Faults, when non-nil and non-empty, is the deterministic link-fault
+	// plan applied to this machine (see internal/fault and fault.go):
+	// degraded channels from reset, dead channels, and faults scheduled to
+	// trip at a simulated timestamp. Dead-link faults require VCQueueFlits
+	// > 0 — without credit flow control there is no backpressure to park
+	// traffic off a dead channel. New panics on a plan that fails
+	// fault.Plan.Validate against Shape; CLI layers should pre-validate
+	// for a clean error.
+	Faults *fault.Plan
 	// VCQueueFlits, when positive, enables bounded per-VC ingress queues
 	// with credit-based flow control at every node (see vcq.go): each
 	// inbound channel gets one FIFO of this depth (in flits) per virtual
@@ -129,6 +139,16 @@ type Machine struct {
 	// FIFOs for every (node, channel, VC), in flat arrays.
 	vcq *vcqState
 
+	// Fault-injection state (nil/empty unless Config.Faults is active —
+	// m.faulty caches that for the per-hop path): deadCh flags dead
+	// outbound channels by (node x spec), trips are the prebuilt scheduled
+	// faults re-armed at every Reset, scratch is the reusable drain buffer
+	// of rerouteParked.
+	faulty  bool
+	deadCh  []bool
+	trips   []*faultTrip
+	scratch []*packet.Packet
+
 	// pool aliases shard 0's — the single-shard engines (timestep, GC
 	// endpoint ops) use it directly after requireSingleShard.
 	pool *packet.Pool
@@ -157,6 +177,9 @@ type Node struct {
 	// credit-steered policies; nil unless Config.VCQueueFlits > 0 (the
 	// flow-control state itself lives in the machine's flat vcq arrays).
 	vcqViews *[chip.Slices]creditLoadView
+	// healths are the per-slice link-health views handed to fault-aware
+	// routing; nil unless the machine has an active fault plan.
+	healths *[chip.Slices]healthView
 }
 
 // shardSeed derives shard s's rng seed. Shard 0 uses the configured seed
@@ -200,6 +223,15 @@ func New(cfg Config) *Machine {
 		panic(fmt.Sprintf("machine: VCQueueFlits %d cannot hold a %d-flit packet", m.vcqFlits, packet.MaxFlitsPerPkt))
 	}
 	_, m.credEcho = m.policy.(route.CreditSteered)
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(cfg.Shape); err != nil {
+			panic("machine: " + err.Error())
+		}
+		if cfg.Faults.HasDead() && m.vcqFlits <= 0 {
+			panic("machine: dead-link faults need per-VC flow control (Config.VCQueueFlits > 0)")
+		}
+		m.faulty = true
+	}
 	m.Geom = chip.New(m.Clock, cfg.Lat)
 	m.specs = chip.AllChannelSpecs(cfg.Shape)
 
@@ -280,6 +312,12 @@ func New(cfg Config) *Machine {
 			}
 			n.resetVCQ(m.vcqFlits)
 		}
+		if m.faulty {
+			n.healths = new([chip.Slices]healthView)
+			for sl := range n.healths {
+				n.healths[sl] = healthView{n: n, slice: sl}
+			}
+		}
 		m.nodes[i] = n
 	}
 	m.buildLatencyTables()
@@ -294,6 +332,27 @@ func New(cfg Config) *Machine {
 				}
 			}
 		}
+	}
+	if m.faulty {
+		m.deadCh = make([]bool, nNodes*chip.NumChannelSpecs)
+		for _, f := range cfg.Faults.Links {
+			if f.TripAt <= 0 {
+				continue
+			}
+			n := m.Node(f.Node)
+			t := &faultTrip{
+				m: m, n: n, eff: f.Effect, at: f.TripAt,
+				inj:  faultInjBase + uint64(len(m.trips)),
+				hist: make([]sim.Time, 0, packet.HistCap),
+			}
+			for _, j := range faultSpecIndices(f) {
+				if j >= 0 {
+					t.specs = append(t.specs, int8(j))
+				}
+			}
+			m.trips = append(m.trips, t)
+		}
+		m.applyFaults()
 	}
 	return m
 }
@@ -462,6 +521,9 @@ func (m *Machine) Reset(seed uint64) {
 		n.resetVCQ(m.vcqFlits)
 	}
 	m.fenceAlloc = fence.Allocator{}
+	// Channels and credit counters are healthy again: re-apply static
+	// faults and re-arm the scheduled trips on the fresh kernels.
+	m.applyFaults()
 	m.rebalanceFreeLists()
 }
 

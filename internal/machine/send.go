@@ -209,15 +209,23 @@ func (m *Machine) nextStep(p *packet.Packet, cur topo.Coord) (topo.Step, bool) {
 	// Only adaptive policies read the load view; oblivious ones would
 	// ignore it anyway. Credit-steered policies get the one-hop credit
 	// lookahead when per-VC queues are modeled, the backlog view otherwise.
+	// The health view exists only on machines with an active fault plan.
 	var view route.LoadView
-	if m.adaptive {
-		if m.credEcho && m.vcqFlits > 0 {
-			view = &m.Node(cur).vcqViews[p.Slice]
-		} else {
-			view = &m.Node(cur).views[p.Slice]
+	var health route.HealthView
+	if m.adaptive || m.faulty {
+		n := m.Node(cur)
+		if m.adaptive {
+			if m.credEcho && m.vcqFlits > 0 {
+				view = &n.vcqViews[p.Slice]
+			} else {
+				view = &n.views[p.Slice]
+			}
+		}
+		if m.faulty {
+			health = &n.healths[p.Slice]
 		}
 	}
-	return m.policy.NextStep(m.cfg.Shape, cur, p.DstNode, p.Order, p.Tie, view)
+	return m.policy.NextStep(m.cfg.Shape, cur, p.DstNode, p.Order, p.Tie, view, health)
 }
 
 // OnPacket advances an in-flight packet one walk step (packet.Walker); the

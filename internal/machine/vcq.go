@@ -218,7 +218,10 @@ func (m *Machine) hopVC(p *packet.Packet, out chip.ChannelSpec, base int) int {
 // pair otherwise. ok=false means neither resource has credits — out and w
 // then name the escape resource the packet must park on (the one whose
 // credits are guaranteed to eventually return). Responses use their
-// dedicated VC for both roles.
+// dedicated VC for both roles. On faulty machines the preferred hop is
+// additionally vetoed when its channel is dead or when it conflicts with a
+// ring direction the packet's escape detour has committed to, and the
+// escape hop routes around dead links (route.EscapeNextAvoid).
 func (m *Machine) chooseHop(n *Node, q *packet.Packet, st topo.Step) (chip.ChannelSpec, int, bool) {
 	v := m.vcq
 	fl := int32(q.Flits())
@@ -227,17 +230,51 @@ func (m *Machine) chooseHop(n *Node, q *packet.Packet, st topo.Step) (chip.Chann
 		return out, route.ResponseVC, v.credits[vcSlot(n.idx, out.Index(), route.ResponseVC)] >= fl
 	}
 	out := chip.ChannelSpec{Dim: st.Dim, Dir: st.Dir, Slice: int(q.Slice)}
-	w := m.hopVC(q, out, vcFree)
-	if v.credits[vcSlot(n.idx, out.Index(), w)] >= fl {
-		return out, w, true
+	if !m.hopBlocked(n, q, out) {
+		w := m.hopVC(q, out, vcFree)
+		if v.credits[vcSlot(n.idx, out.Index(), w)] >= fl {
+			return out, w, true
+		}
 	}
-	esc, ok := route.EscapeNext(m.cfg.Shape, q.Cur, q.DstNode, q.Tie)
+	esc, ok := m.escapeStep(n, q)
 	if !ok {
 		panic("machine: escape route ended before the destination")
 	}
+	if m.faulty && int8(esc.Dim) == q.CurDim && q.CurDir != 0 && int8(esc.Dir) != q.CurDir {
+		// The detour reverses within the packet's current dimension: each
+		// (dim, dir) ring has its own dateline, so the crossed state
+		// belongs to the old direction and must not pick the high VC here.
+		q.Crossed = false
+	}
 	out = chip.ChannelSpec{Dim: esc.Dim, Dir: esc.Dir, Slice: int(q.Slice)}
-	w = m.hopVC(q, out, vcEscape)
+	w := m.hopVC(q, out, vcEscape)
 	return out, w, v.credits[vcSlot(n.idx, out.Index(), w)] >= fl
+}
+
+// hopBlocked reports whether fault state forbids sending q over out: the
+// channel is dead, or the packet has committed to the opposite ring
+// direction in out's dimension while detouring around a dead link (taking
+// the minimal hop again would bounce it back into the link it is escaping —
+// livelock). Always false on healthy machines.
+func (m *Machine) hopBlocked(n *Node, q *packet.Packet, out chip.ChannelSpec) bool {
+	if !m.faulty {
+		return false
+	}
+	if m.deadCh[int(n.idx)*chip.NumChannelSpecs+out.Index()] {
+		return true
+	}
+	c := q.EscDirs[int(out.Dim)]
+	return c != 0 && int(c) != out.Dir
+}
+
+// escapeStep returns q's escape hop at node n: plain e-cube on healthy
+// machines, the dead-link-avoiding variant (with per-packet direction
+// commitment) on faulty ones.
+func (m *Machine) escapeStep(n *Node, q *packet.Packet) (topo.Step, bool) {
+	if !m.faulty {
+		return route.EscapeNext(m.cfg.Shape, q.Cur, q.DstNode, q.Tie)
+	}
+	return route.EscapeNextAvoid(m.cfg.Shape, q.Cur, q.DstNode, q.Tie, &n.healths[q.Slice], &q.EscDirs)
 }
 
 // sendFlow is Send's first-hop admission under per-VC flow control: deduct
@@ -271,8 +308,13 @@ func (m *Machine) sendFlow(p *packet.Packet, n *Node, first topo.Step) {
 // rest of its walk.
 func (m *Machine) acceptHop(p *packet.Packet, out chip.ChannelSpec, w int) {
 	p.VC = int8(w)
-	if int8(out.Dim) != p.CurDim {
+	if int8(out.Dim) != p.CurDim || int8(out.Dir) != p.CurDir {
+		// A direction change without a dimension change only happens on
+		// fault detours (minimal routing never reverses within a ring);
+		// the reversed ring has its own dateline, so Crossed resets there
+		// too.
 		p.CurDim = int8(out.Dim)
+		p.CurDir = int8(out.Dir)
 		p.Crossed = false
 	}
 	if p.RouteLen >= 0 {
@@ -409,6 +451,12 @@ func (m *Machine) creditReturn(n *Node, in, vc int, fl int32) {
 // Unparked transit heads leave their ingress queues, which lets the
 // packets blocked behind them advance in turn.
 func (m *Machine) creditArrive(n *Node, spec, vc, fl int) {
+	if m.faulty && m.deadCh[int(n.idx)*chip.NumChannelSpecs+spec] {
+		// Credits returning for a dead channel are dropped: nothing may be
+		// accepted onto it again, and packets in flight when it tripped
+		// have already drained downstream.
+		return
+	}
 	v := m.vcq
 	slot := vcSlot(n.idx, spec, vc)
 	v.credits[slot] += int32(fl)

@@ -246,7 +246,14 @@ type Packet struct {
 	VC      int8
 	OutVC   int8
 	CurDim  int8
+	CurDir  int8 // direction of travel within CurDim (+1/-1, 0 before first hop)
 	Crossed bool
+	// EscDirs records, per torus dimension, the direction this packet has
+	// committed to under fault rerouting (0 = uncommitted). Once a dead
+	// link forces the escape path to reverse a dimension, the packet must
+	// finish that dimension in the reversed direction — bouncing back toward
+	// the minimal side would re-meet the dead link and livelock.
+	EscDirs [3]int8
 	// OnAccept, when set, is notified if this packet parks at its first-hop
 	// channel and is later revived by a credit arrival (see Accepter).
 	OnAccept Accepter

@@ -1,0 +1,105 @@
+package route
+
+import (
+	"testing"
+
+	"anton3/internal/topo"
+)
+
+// EscapeNextAvoid with nil health (or no dead links on the path) must be
+// exactly EscapeNext: the healthy escape subnetwork is untouched by the
+// fault machinery.
+func TestEscapeNextAvoidHealthyMatchesEscapeNext(t *testing.T) {
+	s := topo.Shape{X: 4, Y: 4, Z: 8}
+	none := HealthFunc(func(topo.Dim, int) bool { return false })
+	for _, tie := range []bool{true, false} {
+		for i := 0; i < s.Nodes(); i++ {
+			for j := 0; j < s.Nodes(); j++ {
+				cur, dst := s.CoordOf(i), s.CoordOf(j)
+				var committed [3]int8
+				a, aok := EscapeNext(s, cur, dst, tie)
+				b, bok := EscapeNextAvoid(s, cur, dst, tie, none, &committed)
+				if a != b || aok != bok {
+					t.Fatalf("EscapeNextAvoid(%v->%v, tie=%v) = %v,%v; EscapeNext = %v,%v",
+						cur, dst, tie, b, bok, a, aok)
+				}
+				if committed != [3]int8{} {
+					t.Fatalf("healthy walk committed a direction: %v", committed)
+				}
+			}
+		}
+	}
+}
+
+// A dead minimal hop reverses the ring direction and commits: the next call
+// in the same dimension keeps the reversed direction even though the dead
+// link is behind the packet now — bouncing back would livelock.
+func TestEscapeNextAvoidReversesAndCommits(t *testing.T) {
+	s := topo.Shape{X: 4, Y: 4, Z: 8}
+	cur := topo.Coord{}
+	dst := topo.Coord{X: 1}
+	deadXPlus := HealthFunc(func(d topo.Dim, dir int) bool { return d == topo.X && dir == 1 })
+
+	var committed [3]int8
+	st, ok := EscapeNextAvoid(s, cur, dst, true, deadXPlus, &committed)
+	if !ok || st.Dim != topo.X || st.Dir != -1 {
+		t.Fatalf("first hop = %v, want X-", st)
+	}
+	if committed[int(topo.X)] != -1 {
+		t.Fatalf("X direction not committed: %v", committed)
+	}
+	// Walk the detour to the destination: 0 -> 3 -> 2 -> 1, all X- hops,
+	// each consulting a health view that is only dead at the origin (the
+	// fault is link-local, but the commitment must persist).
+	healthyElsewhere := HealthFunc(func(topo.Dim, int) bool { return false })
+	cur = s.Neighbor(cur, st.Dim, st.Dir)
+	for hops := 1; cur != dst; hops++ {
+		if hops > s.X {
+			t.Fatalf("detour did not terminate; at %v", cur)
+		}
+		st, ok = EscapeNextAvoid(s, cur, dst, true, healthyElsewhere, &committed)
+		if !ok {
+			t.Fatalf("no step at %v before reaching %v", cur, dst)
+		}
+		if st.Dim != topo.X || st.Dir != -1 {
+			t.Fatalf("detour hop at %v = %v, want X- (committed)", cur, st)
+		}
+		cur = s.Neighbor(cur, st.Dim, st.Dir)
+	}
+	// Dimension order is preserved: with X resolved, Y comes next and its
+	// commitment slot is untouched.
+	st, ok = EscapeNextAvoid(s, dst, topo.Coord{X: 1, Y: 2}, true, healthyElsewhere, &committed)
+	if !ok || st.Dim != topo.Y {
+		t.Fatalf("after X resolved, next dim = %v, want Y", st)
+	}
+}
+
+// Minimal-adaptive routes around a dead link when an alternative minimal
+// hop exists, and falls back to its normal preference (leaving the divert
+// to the escape path) when every minimal hop is dead.
+func TestAdaptiveAvoidsDeadLink(t *testing.T) {
+	s := topo.Shape{X: 4, Y: 4, Z: 8}
+	p := MinimalAdaptive()
+	deadX := HealthFunc(func(d topo.Dim, dir int) bool { return d == topo.X && dir == 1 })
+	st, ok := p.NextStep(s, topo.Coord{}, topo.Coord{X: 1, Y: 1}, topo.OrderXYZ, true, nil, deadX)
+	if !ok || st.Dim != topo.Y {
+		t.Fatalf("adaptive picked %v with X+ dead, want Y+", st)
+	}
+	// Only minimal hop dead: returns it anyway (flow control handles it).
+	st, ok = p.NextStep(s, topo.Coord{}, topo.Coord{X: 1}, topo.OrderXYZ, true, nil, deadX)
+	if !ok || st.Dim != topo.X || st.Dir != 1 {
+		t.Fatalf("adaptive with only hop dead picked %v, want X+", st)
+	}
+	// Health must not override congestion semantics: dead filtering
+	// composes with the load view.
+	loadY := LoadFunc(func(d topo.Dim, dir int) int64 {
+		if d == topo.Y {
+			return 100
+		}
+		return 0
+	})
+	st, ok = p.NextStep(s, topo.Coord{}, topo.Coord{X: 1, Y: 1, Z: 1}, topo.OrderXYZ, true, loadY, deadX)
+	if !ok || st.Dim != topo.Z {
+		t.Fatalf("adaptive with X+ dead and Y loaded picked %v, want Z+", st)
+	}
+}

@@ -29,6 +29,22 @@ type LoadFunc func(dim topo.Dim, dir int) int64
 // Load implements LoadView.
 func (f LoadFunc) Load(dim topo.Dim, dir int) int64 { return f(dim, dir) }
 
+// HealthView exposes link health to fault-aware routing: whether the
+// outbound link along (dim, dir) from the node where the decision is being
+// made is dead. It parallels LoadView (a long-lived per-node object, no
+// per-decision allocation) and a nil view means "all links healthy".
+// Degraded-but-alive links are deliberately not surfaced here — adaptive
+// policies see them through the load signal instead.
+type HealthView interface {
+	Dead(dim topo.Dim, dir int) bool
+}
+
+// HealthFunc adapts an ad-hoc function to a HealthView (tests).
+type HealthFunc func(dim topo.Dim, dir int) bool
+
+// Dead implements HealthView.
+func (f HealthFunc) Dead(dim topo.Dim, dir int) bool { return f(dim, dir) }
+
 // Policy is a request-packet routing policy: it picks the dimension order
 // recorded on the packet, chooses each hop's output, and assigns virtual
 // channels. Implementations must be stateless (one Policy value is shared
@@ -48,10 +64,14 @@ type Policy interface {
 	// NextStep chooses the next hop for a request at cur headed to dst.
 	// o and plusOnTie are the per-packet decisions made at injection
 	// (dimension order and even-ring tie direction); view reports current
-	// output-link load (possibly nil). It returns ok=false iff cur == dst.
-	// Every returned step must be minimal: policies may choose *which*
-	// profitable dimension to advance, never to take a non-minimal hop.
-	NextStep(s topo.Shape, cur, dst topo.Coord, o topo.DimOrder, plusOnTie bool, view LoadView) (topo.Step, bool)
+	// output-link load and health reports dead links (either possibly
+	// nil). It returns ok=false iff cur == dst. Every returned step must
+	// be minimal: policies may choose *which* profitable dimension to
+	// advance, never to take a non-minimal hop. A policy may still return
+	// a dead hop (oblivious policies ignore health entirely; adaptive ones
+	// when every minimal hop is dead) — the flow-control layer then
+	// diverts the packet onto the fault-avoiding escape path instead.
+	NextStep(s topo.Shape, cur, dst topo.Coord, o topo.DimOrder, plusOnTie bool, view LoadView, health HealthView) (topo.Step, bool)
 	// Adaptive reports whether NextStep consults the load view. Callers
 	// on hot paths use it to skip building a view (a per-decision
 	// closure) for oblivious policies, which would ignore it anyway.
@@ -102,7 +122,7 @@ func (p oblivious) Order(rng *sim.Rand) topo.DimOrder {
 
 func (p oblivious) Adaptive() bool { return false }
 
-func (p oblivious) NextStep(s topo.Shape, cur, dst topo.Coord, o topo.DimOrder, plusOnTie bool, _ LoadView) (topo.Step, bool) {
+func (p oblivious) NextStep(s topo.Shape, cur, dst topo.Coord, o topo.DimOrder, plusOnTie bool, _ LoadView, _ HealthView) (topo.Step, bool) {
 	return obliviousNext(s, cur, dst, o, plusOnTie)
 }
 
@@ -162,6 +182,47 @@ func EscapeNext(s topo.Shape, cur, dst topo.Coord, plusOnTie bool) (topo.Step, b
 	return obliviousNext(s, cur, dst, topo.OrderXYZ, plusOnTie)
 }
 
+// EscapeNextAvoid is the fault-aware escape hop: EscapeNext, except that
+// when the minimal direction's link is dead at cur, the packet reverses and
+// goes the long way around that ring — and commits to the reversed
+// direction in committed[dim] so later hops of the same dimension keep
+// going the long way instead of bouncing back into the dead link
+// (livelock). The strict X<Y<Z dimension order is preserved — only the
+// direction within a ring changes — and each (dim, dir) ring keeps its own
+// dateline VC split, so the escape subnetwork's channel dependency graph
+// stays acyclic and the Duato drain argument carries over. committed
+// persists on the packet (packet.Packet.EscDirs); health may be nil.
+//
+// A non-minimal detour can visit more nodes than the minimal hop count, so
+// unlike EscapeNext the caller must not assume progress strictly decreases
+// the remaining distance — termination comes from the committed direction:
+// within a dimension the packet moves monotonically around the ring until
+// the coordinate matches dst's.
+func EscapeNextAvoid(s topo.Shape, cur, dst topo.Coord, plusOnTie bool, health HealthView, committed *[3]int8) (topo.Step, bool) {
+	d := s.Delta(cur, dst)
+	for _, dim := range topo.OrderXYZ {
+		n := d.Get(dim)
+		if n == 0 {
+			continue
+		}
+		dir := 1
+		if n < 0 {
+			dir, n = -1, -n
+		}
+		if !plusOnTie && 2*n == s.Get(dim) {
+			dir = -dir
+		}
+		if c := committed[int(dim)]; c != 0 {
+			dir = int(c)
+		} else if health != nil && health.Dead(dim, dir) {
+			dir = -dir
+			committed[int(dim)] = int8(dir)
+		}
+		return topo.Step{Dim: dim, Dir: dir}, true
+	}
+	return topo.Step{}, false
+}
+
 // adaptive is the minimal-adaptive policy the paper argues against at
 // Anton 3's scale: among the dimensions that still make minimal progress
 // (topo.LegalNextSteps), take the one whose output link is least loaded
@@ -180,11 +241,25 @@ func (adaptive) Order(*sim.Rand) topo.DimOrder { return topo.OrderXYZ }
 
 func (adaptive) Adaptive() bool { return true }
 
-func (adaptive) NextStep(s topo.Shape, cur, dst topo.Coord, _ topo.DimOrder, _ bool, view LoadView) (topo.Step, bool) {
+func (adaptive) NextStep(s topo.Shape, cur, dst topo.Coord, _ topo.DimOrder, _ bool, view LoadView, health HealthView) (topo.Step, bool) {
 	var buf [6]topo.Step
 	cands := topo.LegalNextSteps(s, cur, dst, buf[:0])
 	if len(cands) == 0 {
 		return topo.Step{}, false
+	}
+	if health != nil {
+		// Route around dead links: drop dead candidates, unless every
+		// minimal hop is dead — then return the original preference and
+		// let flow control divert onto the escape path.
+		alive := cands[:0]
+		for _, st := range cands {
+			if !health.Dead(st.Dim, st.Dir) {
+				alive = append(alive, st)
+			}
+		}
+		if len(alive) > 0 {
+			cands = alive
+		}
 	}
 	best := cands[0]
 	if view != nil {
@@ -256,7 +331,7 @@ func Walk(p Policy, s topo.Shape, src, dst topo.Coord, o topo.DimOrder, plusOnTi
 	steps := make([]topo.Step, 0, s.HopDist(src, dst))
 	cur := src
 	for {
-		st, ok := p.NextStep(s, cur, dst, o, plusOnTie, view)
+		st, ok := p.NextStep(s, cur, dst, o, plusOnTie, view, nil)
 		if !ok {
 			return steps
 		}

@@ -98,12 +98,12 @@ func TestAdaptiveAvoidsLoadedDimension(t *testing.T) {
 		}
 		return 0
 	})
-	st, ok := p.NextStep(s, topo.Coord{}, topo.Coord{X: 1, Y: 1}, topo.OrderXYZ, true, view)
+	st, ok := p.NextStep(s, topo.Coord{}, topo.Coord{X: 1, Y: 1}, topo.OrderXYZ, true, view, nil)
 	if !ok || st.Dim != topo.Y {
 		t.Fatalf("adaptive picked %v under X congestion, want Y+", st)
 	}
 	// Without a view it falls back to the XYZ preference.
-	st, ok = p.NextStep(s, topo.Coord{}, topo.Coord{X: 1, Y: 1}, topo.OrderXYZ, true, nil)
+	st, ok = p.NextStep(s, topo.Coord{}, topo.Coord{X: 1, Y: 1}, topo.OrderXYZ, true, nil, nil)
 	if !ok || st.Dim != topo.X {
 		t.Fatalf("adaptive without view picked %v, want X+", st)
 	}

@@ -57,6 +57,18 @@ type Channel struct {
 	busyTime sim.Time
 	lastIdle sim.Time
 
+	// Fault state (see internal/fault). A dead channel refuses injection —
+	// the flow-control layer above must stop offering it traffic before
+	// marking it dead, so transmit on a dead channel is a routing bug, not a
+	// silent drop. bwDiv/latMult degrade serialization bandwidth and fixed
+	// latency; zero means healthy. Degradation applies inside transmit, not
+	// SerializeTime: callers use SerializeTime as the healthy load unit
+	// (offered-load normalization), which must not drift when a link
+	// degrades.
+	dead    bool
+	bwDiv   int64
+	latMult int64
+
 	// OnSend, when set, observes each serialization interval (activity
 	// tracing for the Figure 12 machine activity plots).
 	OnSend func(p *packet.Packet, start, end sim.Time)
@@ -97,13 +109,30 @@ func (ch *Channel) Compressor() *Compressor { return ch.comp }
 func (ch *Channel) SetRemote(d sim.Deferrer) { ch.remote = d }
 
 // Reset returns the channel to its just-built state — serialization
-// horizon, utilization accounting and compression pipeline — so a reused
-// machine's channels start a fresh run with no history.
+// horizon, utilization accounting, compression pipeline and fault state —
+// so a reused machine's channels start a fresh run with no history. The
+// machine re-applies its fault plan after resetting channels.
 func (ch *Channel) Reset() {
 	ch.busy, ch.busyTime, ch.lastIdle = 0, 0, 0
 	ch.carried = 0
+	ch.dead, ch.bwDiv, ch.latMult = false, 0, 0
 	ch.comp.Reset()
 }
+
+// SetFault degrades the channel: bandwidth divided by bwDiv, fixed latency
+// multiplied by latMult (either may be 0 or 1 for "unchanged"). The latency
+// multiplier only ever lengthens FixedLatency, so a sharded executive whose
+// lookahead was computed from the healthy latency stays conservative.
+func (ch *Channel) SetFault(bwDiv, latMult int) {
+	ch.bwDiv, ch.latMult = int64(bwDiv), int64(latMult)
+}
+
+// SetDead marks the channel dead (or revives it). Transmitting on a dead
+// channel panics — upstream flow control must park traffic instead.
+func (ch *Channel) SetDead(dead bool) { ch.dead = dead }
+
+// Dead reports whether the channel has been killed by a fault.
+func (ch *Channel) Dead() bool { return ch.dead }
 
 // SerializeTime returns the time to put bits on the lanes, including frame
 // overhead derating.
@@ -163,8 +192,18 @@ func (ch *Channel) SendPacket(p *packet.Packet) sim.Time {
 }
 
 func (ch *Channel) transmit(p *packet.Packet) (*packet.Packet, sim.Time) {
+	if ch.dead {
+		panic("serdes: transmit on a dead channel (routing/flow-control bug)")
+	}
 	out, bits := ch.comp.Transmit(p)
 	ser := ch.SerializeTime(bits)
+	if ch.bwDiv > 1 {
+		ser *= sim.Time(ch.bwDiv)
+	}
+	lat := ch.cfg.FixedLatency
+	if ch.latMult > 1 {
+		lat *= sim.Time(ch.latMult)
+	}
 	now := ch.k.Now()
 	start := ch.busy
 	if start < now {
@@ -172,7 +211,7 @@ func (ch *Channel) transmit(p *packet.Packet) (*packet.Packet, sim.Time) {
 	}
 	ch.busy = start + ser
 	ch.busyTime += ser
-	arrival := ch.busy + ch.cfg.FixedLatency
+	arrival := ch.busy + lat
 	ch.carried++
 	if ch.OnSend != nil {
 		ch.OnSend(p, start, ch.busy)

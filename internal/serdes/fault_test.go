@@ -1,0 +1,67 @@
+package serdes
+
+import (
+	"testing"
+
+	"anton3/internal/packet"
+	"anton3/internal/sim"
+)
+
+func testChannel() (*sim.Kernel, *Channel) {
+	k := sim.NewKernel()
+	ch := NewChannel(k, DefaultChannelConfig(34*sim.Nanosecond, CompressConfig{}))
+	return k, ch
+}
+
+func TestDegradedBandwidthAndLatency(t *testing.T) {
+	_, ref := testChannel()
+	_, deg := testChannel()
+	deg.SetFault(4, 3)
+
+	refArr := ref.SendPacket(posPacket(1, [3]int32{1, 2, 3}))
+	degArr := deg.SendPacket(posPacket(1, [3]int32{1, 2, 3}))
+
+	ser := ref.SerializeTime(FullHeaderBits + packet.PayloadBits)
+	wantRef := ser + 34*sim.Nanosecond
+	wantDeg := 4*ser + 3*34*sim.Nanosecond
+	if refArr != wantRef {
+		t.Fatalf("healthy arrival %d, want %d", refArr, wantRef)
+	}
+	if degArr != wantDeg {
+		t.Fatalf("degraded arrival %d, want %d", degArr, wantDeg)
+	}
+	// SerializeTime stays the HEALTHY unit: offered-load normalization
+	// must not drift when a link degrades.
+	if ref.SerializeTime(192) != deg.SerializeTime(192) {
+		t.Fatal("SerializeTime changed under degradation")
+	}
+}
+
+func TestDeadChannelPanics(t *testing.T) {
+	_, ch := testChannel()
+	ch.SetDead(true)
+	if !ch.Dead() {
+		t.Fatal("Dead() false after SetDead(true)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SendPacket on a dead channel did not panic")
+		}
+	}()
+	ch.SendPacket(posPacket(1, [3]int32{0, 0, 0}))
+}
+
+func TestResetClearsFaults(t *testing.T) {
+	_, ch := testChannel()
+	ch.SetFault(8, 8)
+	ch.SetDead(true)
+	ch.Reset()
+	if ch.Dead() {
+		t.Fatal("Reset did not clear dead state")
+	}
+	arr := ch.SendPacket(posPacket(1, [3]int32{0, 0, 0}))
+	ser := ch.SerializeTime(FullHeaderBits + packet.PayloadBits)
+	if arr != ser+34*sim.Nanosecond {
+		t.Fatalf("post-Reset arrival %d, want healthy %d", arr, ser+34*sim.Nanosecond)
+	}
+}
