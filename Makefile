@@ -15,9 +15,12 @@ test:
 # detector, the allocation gate, plus the netsweep, saturate, faultsweep
 # and MD timestep CLI smokes (the saturate, faultsweep and fig12 smokes
 # also diff sharded vs sequential output — shard-count invariance end to
-# end; the faultsweep smoke pins a dead-link cell with rerouting live) and
+# end; the faultsweep smoke pins a dead-link cell with rerouting live),
 # the cache smoke (cold + warm -cache runs byte-identical to uncached,
-# warm run executing zero probes).
+# warm run executing zero probes), and the telemetry smoke (-metrics
+# output minus its 'telemetry' lines byte-identical to the plain run and
+# to itself at -shards 2; -trace-events emits a valid Chrome trace-event
+# document).
 test-short:
 	$(GO) test -short -race ./...
 	$(MAKE) alloc-gate
@@ -37,6 +40,13 @@ test-short:
 	diff /tmp/anton3-sat-seq.txt /tmp/anton3-sat-cold.txt && \
 	diff /tmp/anton3-sat-seq.txt /tmp/anton3-sat-warm.txt && \
 	python3 -c "import json; c=json.load(open('/tmp/anton3-sat-cold.json'))['cache']; w=json.load(open('/tmp/anton3-sat-warm.json'))['cache']; assert c['misses']>0 and c['hits']==0, c; assert w['hits']>0 and w['misses']==0, w; print('cache smoke: cold', c, '-> warm', w)"
+	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q -metrics > /tmp/anton3-sat-met.txt
+	grep -v '^telemetry' /tmp/anton3-sat-met.txt | diff - /tmp/anton3-sat-seq.txt
+	grep -q '^telemetry ' /tmp/anton3-sat-met.txt
+	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q -metrics -shards 2 > /tmp/anton3-sat-met2.txt
+	diff /tmp/anton3-sat-met.txt /tmp/anton3-sat-met2.txt
+	$(GO) run ./cmd/anton3 saturate -shapes 2x2x2 -loads 0.5,2 -npkts 8 -nwarm 2 -q -trace-events /tmp/anton3-trace.json > /dev/null
+	python3 -c "import json; ev=json.load(open('/tmp/anton3-trace.json'))['traceEvents']; assert any(e['ph']=='X' for e in ev), 'no slices'; print('trace smoke:', len(ev), 'events')"
 
 # The allocation gate: testing.AllocsPerRun regression tests pinning the
 # steady-state machine.Send (request and response classes), the synth
@@ -98,9 +108,13 @@ bench-saturate:
 # link, four dead links, a directed plane cut), as knee metrics and shifts
 # vs the healthy baseline. Committed per PR next to BENCH_saturation.json:
 # the knees quantify graceful degradation, the shifts are the fault-aware
-# rerouting story tracked over time.
+# rerouting story tracked over time. Gated like the hotpath lane: a
+# FaultKneeShift slowdown >10% vs the committed baseline fails the run,
+# and the fresh JSON lands in a temp file first so the baseline survives
+# a failed gate for diagnosis.
 bench-faults:
-	$(GO) test -run '^$$' -bench 'FaultKneeShift' -benchtime=1x -benchmem -count=1 -timeout 1800s ./internal/flow | $(GO) run ./cmd/benchjson > BENCH_faults.json
+	$(GO) test -run '^$$' -bench 'FaultKneeShift' -benchtime=1x -benchmem -count=1 -timeout 1800s ./internal/flow | $(GO) run ./cmd/benchjson -gate BENCH_faults.json -gate-bench FaultKneeShift > BENCH_faults.json.tmp
+	mv BENCH_faults.json.tmp BENCH_faults.json
 
 # The MD timestep report: ns/step for one 8000-atom water cell at 1/2/4
 # kernel shards (byte-identical results, wall clock only — the shards=1

@@ -25,6 +25,7 @@ import (
 	"anton3/internal/packet"
 	"anton3/internal/resultstore"
 	"anton3/internal/runner"
+	"anton3/internal/telemetry"
 	"anton3/internal/topo"
 )
 
@@ -59,6 +60,8 @@ func run() int {
 	vcq := fs.Int("vcq", 0, "saturate per-VC ingress queue depth in flits (0 = bandwidth-delay default)")
 	injq := fs.Int("injq", 0, "saturate per-source injection window in packets (0 = default)")
 	autoshard := fs.Bool("autoshard", false, "grant spare cores to netsweep/saturate cells as kernel shards at dispatch")
+	metrics := fs.Bool("metrics", false, "arm the telemetry layer on sweep cells: counters + latency/park histograms, 'telemetry' lines appended to each cell")
+	traceEvents := fs.String("trace-events", "", "write a Chrome trace-event JSON of sweep-cell packet lifecycles to this file (implies uncached cells)")
 	cache := cacheMode("off")
 	fs.Var(&cache, "cache", "memoize sweep results in the content-addressed store: -cache (read/write), -cache=readonly; default off")
 	cachedir := fs.String("cachedir", "", "result-cache directory (default <user cache dir>/anton3, e.g. ~/.cache/anton3)")
@@ -122,6 +125,15 @@ func run() int {
 			*jobs, *shards, maxprocs)
 	}
 
+	// Trace export reruns every traced cell uncached (a cache hit would
+	// skip the simulation the trace observes), so combining it with the
+	// result cache is a contradiction we reject rather than silently
+	// resolve.
+	if *traceEvents != "" && cache != "off" {
+		fmt.Fprintln(os.Stderr, "anton3: -trace-events cannot be combined with -cache (traced cells always re-simulate)")
+		return 2
+	}
+
 	// The result cache is off by default, so every command's output stays
 	// byte-identical to an uncached tree; with it on, memoized cells and
 	// probes short-circuit — same bytes on stdout, the hit/miss/stored
@@ -167,6 +179,12 @@ func run() int {
 	p.SatWarmup = *nwarm
 	p.SatQueueFlits = *vcq
 	p.SatInjDepth = *injq
+	p.Metrics = *metrics
+	var sink *telemetry.TraceSink
+	if *traceEvents != "" {
+		sink = &telemetry.TraceSink{}
+		p.Trace = sink
+	}
 	var err error
 	if p.NetShapes, err = parseShapes(*shapes); err != nil {
 		fmt.Fprintln(os.Stderr, "anton3:", err)
@@ -225,6 +243,19 @@ func run() int {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anton3:", err)
+	}
+	if sink != nil {
+		f, werr := os.Create(*traceEvents)
+		if werr == nil {
+			werr = sink.Export(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "anton3:", werr)
+			return 1
+		}
 	}
 	if *jsonPath != "" {
 		if werr := rep.WriteJSON(*jsonPath); werr != nil {
@@ -337,6 +368,15 @@ flags (after the subcommand):
              with byte-identical stdout; -cache=readonly consults without
              storing; default off (output byte-identical to older trees)
   -cachedir P  store directory (default <user cache dir>/anton3)
+  -metrics   arm the deterministic telemetry layer on sweep cells (netsweep/
+             saturate/faultsweep): sharded counters and latency/park
+             histograms, rendered as 'telemetry' lines after each table
+             (plus hottest-links at the saturation knee); byte-identical
+             at every -shards/-jobs, off by default (zero overhead)
+  -trace-events P  write a Chrome trace-event JSON (Perfetto-loadable) of
+             sweep-cell packet lifecycles to P: one process per cell, one
+             track per node channel plus park/escape/detour phase tracks;
+             traced cells always re-simulate, so -cache is rejected
   -json P    write the runner report (per-job rows and timings) to P
   -q         suppress the runner summary line on stderr
   -pairs, -atoms, -steps, -warm, -measure   experiment sizes (see -h)

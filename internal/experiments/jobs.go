@@ -12,7 +12,9 @@ import (
 	"anton3/internal/runner"
 	"anton3/internal/sim"
 	"anton3/internal/synth"
+	"anton3/internal/telemetry"
 	"anton3/internal/topo"
+	"anton3/internal/trace"
 )
 
 // Fig5Seed is the pair-sampling seed of the paper runs of Figure 5.
@@ -97,6 +99,18 @@ type Params struct {
 	// caching changes wall time and the -json cache counters only, never
 	// a byte of output. nil (the default) runs everything.
 	Cache *resultstore.Store
+
+	// Metrics arms the deterministic telemetry layer on the sweep cells
+	// (netsweep, saturate, faultsweep): curves carry counter/histogram
+	// summaries and renders append "telemetry" lines. Metrics-on cells
+	// cache under "+tel" kinds, so they never share entries with plain
+	// runs of the same configuration.
+	Metrics bool
+	// Trace, when non-nil, arms packet-lifecycle tracing on the same
+	// cells; each cell drains its tracks into the sink under its job
+	// name. Traced cells never cache — a hit would skip the simulated
+	// work whose lifecycle the trace records.
+	Trace *telemetry.TraceSink
 }
 
 // DefaultParams returns the paper-scale configuration.
@@ -205,6 +219,45 @@ func fig11Jobs() []runner.Job {
 	return jobs
 }
 
+// cellKey builds a grid cell's cache key under the observability gates:
+// metrics-on cells move to a "+tel" kind (payload and stdout then carry
+// telemetry), and traced cells don't cache at all — a cell hit would
+// skip the simulation whose lifecycle the trace records.
+func cellKey(p Params, kind string, seed uint64, cfg any) resultstore.Key {
+	if p.Trace != nil {
+		return resultstore.Key{}
+	}
+	if p.Metrics {
+		kind += "+tel"
+	}
+	return resultstore.KeyFor(kind, seed, cfg)
+}
+
+// cellRecorder returns a fresh per-cell trace recorder when tracing is
+// armed, nil otherwise; cellDrain hands the filled recorder to the sink
+// under the cell's job name.
+func cellRecorder(p Params) *trace.Recorder {
+	if p.Trace == nil {
+		return nil
+	}
+	return trace.NewRecorder()
+}
+
+func cellDrain(p Params, name string, rec *trace.Recorder) {
+	if rec != nil {
+		p.Trace.Add(name, rec)
+	}
+}
+
+// cellCache resolves the point-level store a traced cell may use: none —
+// point hits would leave holes in the trace — and p.Cache otherwise.
+func cellCache(p Params) *resultstore.Store {
+	if p.Trace != nil {
+		return nil
+	}
+	return p.Cache
+}
+
 // policyNames flattens a policy list into the cache-key config: the
 // policy set is part of what a cell's output depends on.
 func policyNames(pols []route.Policy) []string {
@@ -247,15 +300,19 @@ func netsweepJobs(p Params) []runner.Job {
 		for pi, pat := range synth.Patterns() {
 			shape, pat := shape, pat
 			seed := uint64(7000 + 100*si + pi)
+			name := fmt.Sprintf("netsweep/%s/%s", shape, pat.Name)
 			run := func(shards int) (runner.Output, error) {
-				r := synth.Sweep(shape, route.Policies(), pat, p.NetLoads, p.NetPackets, p.NetWarmup, seed, shards)
+				rec := cellRecorder(p)
+				r := synth.SweepOpts(shape, route.Policies(), pat, p.NetLoads, p.NetPackets, p.NetWarmup, seed, shards,
+					synth.Opts{Metrics: p.Metrics, Trace: rec})
+				cellDrain(p, name, rec)
 				return runner.Output{Text: r.Render(), Data: r}, nil
 			}
 			job := runner.Job{
-				Name: fmt.Sprintf("netsweep/%s/%s", shape, pat.Name),
+				Name: name,
 				Seed: seed,
 				Cost: 0.1 * float64(shape.Nodes()) / 16,
-				CacheKey: resultstore.KeyFor("cell/netsweep", seed, sweepCellCfg{
+				CacheKey: cellKey(p, "cell/netsweep", seed, sweepCellCfg{
 					Shape:    shape.String(),
 					Pattern:  pat.Name,
 					Policies: policyNames(route.Policies()),
@@ -300,18 +357,22 @@ func saturateJobs(p Params) []runner.Job {
 		for pi, pat := range synth.Patterns() {
 			shape, pat := shape, pat
 			seed := uint64(9000 + 100*si + pi)
+			name := fmt.Sprintf("saturate/%s/%s", shape, pat.Name)
 			run := func(shards int) (runner.Output, error) {
-				r := flow.Sweep(shape, route.SaturatePolicies(), pat, p.SatLoads,
-					p.SatPackets, p.SatWarmup, seed, shards, p.SatQueueFlits, p.SatInjDepth, p.Cache)
+				rec := cellRecorder(p)
+				r := flow.SweepOpts(shape, route.SaturatePolicies(), pat, p.SatLoads,
+					p.SatPackets, p.SatWarmup, seed, shards, p.SatQueueFlits, p.SatInjDepth, cellCache(p),
+					flow.Opts{Metrics: p.Metrics, Trace: rec})
+				cellDrain(p, name, rec)
 				return runner.Output{Text: r.Render(), Data: r}, nil
 			}
 			job := runner.Job{
-				Name: fmt.Sprintf("saturate/%s/%s", shape, pat.Name),
+				Name: name,
 				Seed: seed,
 				// ~4 policies x (sweep + knee probes) of load-scaled
 				// closed-loop points: roughly 5x a netsweep cell.
 				Cost: 0.5 * float64(shape.Nodes()) / 16,
-				CacheKey: resultstore.KeyFor("cell/saturate", seed, sweepCellCfg{
+				CacheKey: cellKey(p, "cell/saturate", seed, sweepCellCfg{
 					Shape:      shape.String(),
 					Pattern:    pat.Name,
 					Policies:   policyNames(route.SaturatePolicies()),
@@ -453,17 +514,21 @@ func faultsweepJobs(p Params) []runner.Job {
 		for pi, pat := range synth.Patterns() {
 			shape, pat, sevs := shape, pat, sevs
 			seed := uint64(9700 + 100*si + pi)
+			name := fmt.Sprintf("faultsweep/%s/%s", shape, pat.Name)
 			run := func(shards int) (runner.Output, error) {
-				r := flow.FaultSweep(shape, route.SaturatePolicies(), pat, p.SatLoads,
-					p.SatPackets, p.SatWarmup, seed, sevs, shards, p.SatQueueFlits, p.SatInjDepth, p.Cache)
+				rec := cellRecorder(p)
+				r := flow.FaultSweepOpts(shape, route.SaturatePolicies(), pat, p.SatLoads,
+					p.SatPackets, p.SatWarmup, seed, sevs, shards, p.SatQueueFlits, p.SatInjDepth, cellCache(p),
+					flow.Opts{Metrics: p.Metrics, Trace: rec})
+				cellDrain(p, name, rec)
 				return runner.Output{Text: r.Render(), Data: r}, nil
 			}
 			job := runner.Job{
-				Name: fmt.Sprintf("faultsweep/%s/%s", shape, pat.Name),
+				Name: name,
 				Seed: seed,
 				// len(sevs) saturate-style knee searches per cell.
 				Cost: 2.5 * float64(shape.Nodes()) / 16,
-				CacheKey: resultstore.KeyFor("cell/faultsweep", seed, struct {
+				CacheKey: cellKey(p, "cell/faultsweep", seed, struct {
 					Shape      string
 					Pattern    string
 					Policies   []string

@@ -8,6 +8,7 @@ import (
 	"anton3/internal/resultstore"
 	"anton3/internal/route"
 	"anton3/internal/synth"
+	"anton3/internal/telemetry"
 	"anton3/internal/topo"
 )
 
@@ -40,6 +41,10 @@ type FaultCurve struct {
 	// convenience of report readers).
 	Healthy float64    `json:"healthy_knee"`
 	Rows    []FaultRow `json:"rows"`
+	// Tel aggregates telemetry across every severity of this policy
+	// (nil unless the sweep ran with Opts.Metrics); the fault-reroute
+	// counter is the mid-run-trip visibility the grid exists for.
+	Tel *telemetry.Summary `json:"telemetry,omitempty"`
 }
 
 // FaultResult is one pattern x shape table of the faultsweep experiment.
@@ -60,6 +65,14 @@ type FaultResult struct {
 // bit-identical to — and cache-shared with — saturate's. Loads must be
 // ascending, as in SweepPattern.
 func FaultSweep(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, sevs []fault.Severity, shards, queueFlits, injDepth int, cache *resultstore.Store) FaultResult {
+	return FaultSweepOpts(shape, policies, pat, loads, packets, warmup, seed, sevs, shards, queueFlits, injDepth, cache, Opts{})
+}
+
+// FaultSweepOpts is FaultSweep with the observability layer gates.
+// Telemetry aggregates per policy across the whole severity grid; trace
+// tracks are prefixed "<policy>/<severity>" so every harness stays
+// distinguishable.
+func FaultSweepOpts(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, sevs []fault.Severity, shards, queueFlits, injDepth int, cache *resultstore.Store, opts Opts) FaultResult {
 	if queueFlits <= 0 {
 		queueFlits = DefaultQueueFlits
 	}
@@ -76,10 +89,17 @@ func FaultSweep(shape topo.Shape, policies []route.Policy, pat synth.Pattern, lo
 	}
 	for pi, pol := range policies {
 		c := FaultCurve{Policy: pol.Name(), Rows: make([]FaultRow, 0, len(sevs))}
+		var agg telemetry.Shard
 		for _, sev := range sevs {
 			plan := sev.Plan
 			h := NewFaultHarness(shape, pol, shards, queueFlits, injDepth, &plan)
 			h.Cache = cache
+			if opts.Metrics {
+				h.EnableMetrics()
+			}
+			if opts.Trace != nil {
+				h.AttachTrace(pol.Name() + "/" + sev.Name)
+			}
 			var pts []Point
 			for li, load := range loads {
 				pts = append(pts, h.RunPoint(
@@ -92,6 +112,16 @@ func FaultSweep(shape topo.Shape, policies []route.Policy, pat synth.Pattern, lo
 				c.Healthy = row.Knee
 			}
 			c.Rows = append(c.Rows, row)
+			if opts.Metrics {
+				agg.Merge(h.Telemetry())
+			}
+			if opts.Trace != nil {
+				h.DrainTrace(opts.Trace)
+			}
+		}
+		if opts.Metrics {
+			sum := agg.Summary()
+			c.Tel = &sum
 		}
 		for ri := range c.Rows {
 			if c.Healthy > 0 {
@@ -138,6 +168,13 @@ func (r FaultResult) Render() string {
 			plan = "(none)"
 		}
 		fmt.Fprintf(&b, "  %-8s %s\n", row.Severity, plan)
+	}
+	for _, c := range r.Curves {
+		if c.Tel == nil {
+			continue
+		}
+		b.WriteString(c.Tel.Line(c.Policy))
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

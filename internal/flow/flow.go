@@ -25,7 +25,9 @@ import (
 	"anton3/internal/serdes"
 	"anton3/internal/sim"
 	"anton3/internal/synth"
+	"anton3/internal/telemetry"
 	"anton3/internal/topo"
+	"anton3/internal/trace"
 )
 
 // Defaults for the closed-loop rig. The per-VC ingress queue is sized to
@@ -124,6 +126,25 @@ type Harness struct {
 	// fault-carrying key config so faulted results can never collide with
 	// healthy ones — and healthy harnesses keep their PR 8 keys untouched.
 	faultCanon string
+
+	// Telemetry state (EnableMetrics): metrics gates the layer, telAgg
+	// accumulates every point's merged telemetry block over the harness's
+	// lifetime (cache replays included — a hit merges the recorded
+	// block), ptTel holds the most recent point's block, and lastEnd the
+	// most recent run's final event timestamp (the heatmap's busy-time
+	// normalizer). All value types: zero per-point allocations.
+	metrics bool
+	telAgg  telemetry.Shard
+	ptTel   telemetry.Shard
+	lastEnd sim.Time
+}
+
+// telPoint is the cache record of a metrics-enabled point: the Point
+// plus the run's merged telemetry block, stored under the "+tel" key
+// kind so metrics-off replays never see (or miss on) telemetry data.
+type telPoint struct {
+	P   Point           `json:"p"`
+	Tel telemetry.Shard `json:"tel"`
 }
 
 // pointKeyCfg is the full configuration a closed-loop point depends on
@@ -216,6 +237,26 @@ func NewFaultHarness(shape topo.Shape, policy route.Policy, shards, queueFlits, 
 	}
 	return h
 }
+
+// EnableMetrics arms the telemetry layer for every subsequent point:
+// the machine gets per-shard counter/histogram blocks, and each point's
+// merged block lands in the harness accumulator (Telemetry). Call right
+// after NewHarness; metrics-on points cache under a distinct key kind.
+func (h *Harness) EnableMetrics() {
+	h.metrics = true
+	h.m.EnableTelemetry()
+}
+
+// AttachTrace arms packet-lifecycle tracing on the harness machine with
+// the given track prefix (DrainTrace collects the spans).
+func (h *Harness) AttachTrace(prefix string) { h.m.AttachPacketTrace(prefix) }
+
+// DrainTrace moves all recorded packet-lifecycle spans into dst.
+func (h *Harness) DrainTrace(dst *trace.Recorder) { h.m.DrainPacketTrace(dst) }
+
+// Telemetry returns the harness-lifetime accumulated telemetry block
+// (zero-valued unless EnableMetrics was called).
+func (h *Harness) Telemetry() *telemetry.Shard { return &h.telAgg }
 
 // QueueFlits reports the machine's per-VC ingress queue depth.
 func (h *Harness) QueueFlits() int { return h.m.Config().VCQueueFlits }
@@ -351,6 +392,20 @@ func (h *Harness) RunPoint(pat synth.Pattern, load float64, packets, warmup int,
 	cfg.Load = load
 	cfg.Packets, cfg.Warmup = packets, warmup
 	key := h.pointKey(seed, cfg)
+	if h.metrics {
+		// Metrics-on points store (Point, telemetry block) under the
+		// "+tel" kind; a hit replays the block into the accumulator so
+		// warm sweeps report identical telemetry.
+		var rec telPoint
+		if h.Cache.Get(key, &rec) {
+			h.ptTel = rec.Tel
+			h.telAgg.Merge(&rec.Tel)
+			return rec.P
+		}
+		pt := h.runPoint(pat, load, packets, warmup, seed)
+		h.Cache.Put(key, telPoint{P: pt, Tel: h.ptTel})
+		return pt
+	}
 	var pt Point
 	if h.Cache.Get(key, &pt) {
 		return pt
@@ -364,10 +419,16 @@ func (h *Harness) RunPoint(pat synth.Pattern, load float64, packets, warmup int,
 // pointKeyCfg on a healthy harness (byte-identical to every key minted
 // before fault injection existed), the fault-carrying config otherwise.
 func (h *Harness) pointKey(seed uint64, cfg pointKeyCfg) resultstore.Key {
-	if h.faultCanon == "" {
-		return resultstore.KeyFor("flow/point", seed, cfg)
+	kind := "flow/point"
+	if h.metrics {
+		// Metrics-on records carry the telemetry block alongside the
+		// Point; a distinct kind keeps the two namespaces disjoint.
+		kind = "flow/point+tel"
 	}
-	return resultstore.KeyFor("flow/point", seed, faultPointKeyCfg{
+	if h.faultCanon == "" {
+		return resultstore.KeyFor(kind, seed, cfg)
+	}
+	return resultstore.KeyFor(kind, seed, faultPointKeyCfg{
 		Shape:      cfg.Shape,
 		Policy:     cfg.Policy,
 		Pattern:    cfg.Pattern,
@@ -427,7 +488,13 @@ func (h *Harness) runPoint(pat synth.Pattern, load float64, packets, warmup int,
 	// single-shard run adopts the content-based order too, and all shard
 	// counts produce identical bytes.
 	h.m.ForceLineageRun()
-	h.m.Run()
+	h.lastEnd = h.m.Run()
+
+	if c := h.m.Telemetry(); c != nil {
+		h.m.CollectChannelBusy()
+		h.ptTel = *c.Merged()
+		h.telAgg.Merge(&h.ptTel)
+	}
 
 	var entered, delivered int64
 	var lastEntry sim.Time

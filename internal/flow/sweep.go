@@ -3,13 +3,32 @@ package flow
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
+	"anton3/internal/chip"
 	"anton3/internal/resultstore"
 	"anton3/internal/route"
+	"anton3/internal/sim"
 	"anton3/internal/synth"
+	"anton3/internal/telemetry"
 	"anton3/internal/topo"
+	"anton3/internal/trace"
 )
+
+// Opts gates the optional observability layers of a sweep cell; the
+// zero value runs exactly the pre-telemetry pipeline.
+type Opts struct {
+	// Metrics arms per-(policy x pattern) telemetry: counters and
+	// latency/park histograms accumulated across every point (swept
+	// loads and knee probes), surfaced as Curve.Tel plus "telemetry"
+	// render lines and a channel-utilization heatmap at the knee.
+	Metrics bool
+	// Trace, when non-nil, collects packet-lifecycle spans from every
+	// policy's machine into the recorder (tracks are prefixed with the
+	// policy name, so policies never collide).
+	Trace *trace.Recorder
+}
 
 // SatRatio is the saturation detector: a point whose accepted/offered
 // ratio falls below it (or that wedged) counts as saturated. Below
@@ -39,6 +58,18 @@ type Curve struct {
 	Knee   float64 `json:"knee"`
 	KneeLB bool    `json:"knee_lb,omitempty"`
 	Points []Point `json:"points"`
+	// Tel is the per-(policy x pattern) telemetry digest over every
+	// point of this curve; Heat the top-k hottest links at the knee.
+	// Both nil unless the sweep ran with Opts.Metrics.
+	Tel  *telemetry.Summary `json:"telemetry,omitempty"`
+	Heat []ChannelHeat      `json:"heat,omitempty"`
+}
+
+// ChannelHeat is one link's utilization in the knee-probe heatmap.
+type ChannelHeat struct {
+	Node string  `json:"node"`
+	Spec string  `json:"spec"`
+	Util float64 `json:"util"`
 }
 
 // probeSeed scrambles a probe load into the cell seed so knee probes get
@@ -124,20 +155,77 @@ func findKnee(h *Harness, pat synth.Pattern, pts []Point, packets, warmup int, s
 // recorded Point with bit-identical curves and knees. nil runs
 // everything, exactly as before the store existed.
 func SweepPattern(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, shards, queueFlits, injDepth int, cache *resultstore.Store) []Curve {
+	return SweepPatternOpts(shape, policies, pat, loads, packets, warmup, seed, shards, queueFlits, injDepth, cache, Opts{})
+}
+
+// SweepPatternOpts is SweepPattern with the observability layer gates.
+func SweepPatternOpts(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, shards, queueFlits, injDepth int, cache *resultstore.Store, opts Opts) []Curve {
 	curves := make([]Curve, len(policies))
 	for pi, pol := range policies {
 		c := Curve{Policy: pol.Name()}
 		h := NewHarness(shape, pol, shards, queueFlits, injDepth)
 		h.Cache = cache
+		if opts.Metrics {
+			h.EnableMetrics()
+		}
+		if opts.Trace != nil {
+			h.AttachTrace(pol.Name())
+		}
 		for li, load := range loads {
 			c.Points = append(c.Points, h.RunPoint(
 				pat, load, packets, warmup, seed+uint64(li)*9176,
 			))
 		}
 		c.Knee, c.KneeLB = findKnee(h, pat, c.Points, packets, warmup, seed)
+		if opts.Metrics {
+			// Snapshot the curve digest before the heatmap probe runs
+			// (the probe's telemetry belongs to the heatmap, not the
+			// curve totals).
+			sum := h.Telemetry().Summary()
+			c.Tel = &sum
+			c.Heat = kneeHeat(h, pat, c.Knee, packets, warmup, seed)
+		}
+		if opts.Trace != nil {
+			h.DrainTrace(opts.Trace)
+		}
 		curves[pi] = c
 	}
 	return curves
+}
+
+// heatTopK bounds the hottest-links digest.
+const heatTopK = 4
+
+// kneeHeat runs one fresh (deliberately uncached — the heatmap reads
+// machine channel state, not a Point) probe at the knee load and
+// digests per-channel serialization busy time into the top-k hottest
+// links, each normalized by the run's end timestamp. Deterministic:
+// busy times are simulated integers and ties break on the dense
+// (node, spec) walk order.
+func kneeHeat(h *Harness, pat synth.Pattern, knee float64, packets, warmup int, seed uint64) []ChannelHeat {
+	if knee <= 0 {
+		return nil
+	}
+	h.runPoint(pat, knee, packets, warmup, probeSeed(seed, knee))
+	end := h.lastEnd
+	if end <= 0 {
+		return nil
+	}
+	var heats []ChannelHeat
+	h.m.ChannelBusy(func(node topo.Coord, spec chip.ChannelSpec, busy sim.Time) {
+		if busy > 0 {
+			heats = append(heats, ChannelHeat{
+				Node: node.String(),
+				Spec: spec.String(),
+				Util: float64(busy) / float64(end),
+			})
+		}
+	})
+	sort.SliceStable(heats, func(i, j int) bool { return heats[i].Util > heats[j].Util })
+	if len(heats) > heatTopK {
+		heats = heats[:heatTopK]
+	}
+	return heats
 }
 
 // Result is one pattern x shape table of the saturate experiment.
@@ -152,6 +240,11 @@ type Result struct {
 
 // Sweep runs SweepPattern and packages the result for reports.
 func Sweep(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, shards, queueFlits, injDepth int, cache *resultstore.Store) Result {
+	return SweepOpts(shape, policies, pat, loads, packets, warmup, seed, shards, queueFlits, injDepth, cache, Opts{})
+}
+
+// SweepOpts is Sweep with the observability layer gates.
+func SweepOpts(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads []float64, packets, warmup int, seed uint64, shards, queueFlits, injDepth int, cache *resultstore.Store, opts Opts) Result {
 	if queueFlits <= 0 {
 		queueFlits = DefaultQueueFlits
 	}
@@ -164,7 +257,7 @@ func Sweep(shape topo.Shape, policies []route.Policy, pat synth.Pattern, loads [
 		Pattern:    pat.Name,
 		QueueFlits: queueFlits,
 		InjDepth:   injDepth,
-		Curves:     SweepPattern(shape, policies, pat, loads, packets, warmup, seed, shards, queueFlits, injDepth, cache),
+		Curves:     SweepPatternOpts(shape, policies, pat, loads, packets, warmup, seed, shards, queueFlits, injDepth, cache, opts),
 	}
 }
 
@@ -206,6 +299,23 @@ func (r Result) Render() string {
 	b.WriteByte('\n')
 	if len(wedged) > 0 {
 		fmt.Fprintf(&b, "deadlocked cells: %s\n", strings.Join(wedged, ", "))
+	}
+	// Telemetry lines come last and always start with "telemetry" at
+	// column 0, so a metrics-on run's primary output stays byte-identical
+	// to a metrics-off run after `grep -v '^telemetry'`.
+	for _, c := range r.Curves {
+		if c.Tel == nil {
+			continue
+		}
+		b.WriteString(c.Tel.Line(c.Policy))
+		b.WriteByte('\n')
+		if len(c.Heat) > 0 {
+			fmt.Fprintf(&b, "telemetry hotlinks %s @ knee %.3f:", c.Policy, c.Knee)
+			for _, hh := range c.Heat {
+				fmt.Fprintf(&b, "  %s %s %.1f%%", hh.Node, hh.Spec, 100*hh.Util)
+			}
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }

@@ -190,6 +190,9 @@ func (m *Machine) rerouteParked(n *Node, j int) {
 // channel just died: the mirror of creditArrive's revive path, except the
 // output resource is chosen afresh instead of being the parked one.
 func (m *Machine) redispatch(n *Node, q *packet.Packet, now sim.Time) {
+	if sh := n.sh; sh.tele != nil || sh.trec != nil {
+		m.noteFaultReroute(n, q, now)
+	}
 	st, ok := m.nextStep(q, q.Cur)
 	if !ok {
 		panic("machine: parked packet with no remaining hops")
@@ -203,9 +206,14 @@ func (m *Machine) redispatch(n *Node, q *packet.Packet, now sim.Time) {
 		q.Out = int8(idx)
 		q.OutVC = int8(w)
 		q.State = packet.WalkParked
+		// ParkedAt is deliberately NOT reset: the stall began at the
+		// original park, the trip merely re-routed the waiting packet.
 		v.pending[slot].push(q)
 		v.pendFlits[slot] += fl
 		return
+	}
+	if sh := n.sh; sh.tele != nil || sh.trec != nil {
+		m.noteUnpark(n, q, now, fl)
 	}
 	v.credits[vcSlot(n.idx, idx, w)] -= fl
 	if q.In < 0 {

@@ -16,7 +16,9 @@ import (
 	"anton3/internal/route"
 	"anton3/internal/serdes"
 	"anton3/internal/sim"
+	"anton3/internal/telemetry"
 	"anton3/internal/topo"
+	"anton3/internal/trace"
 )
 
 // Config describes one machine.
@@ -89,6 +91,12 @@ type mshard struct {
 	// executing, the chain credit returns scheduled inside it inherit.
 	creds   []*creditMsg
 	curHist []sim.Time
+
+	// tele and trec are this shard's telemetry accumulator block and
+	// packet-lifecycle trace recorder; nil (the default) keeps every
+	// observability touch point a single predictable branch.
+	tele *telemetry.Shard
+	trec *trace.Recorder
 }
 
 // nextPktID hands out this shard's packet IDs.
@@ -148,6 +156,11 @@ type Machine struct {
 	deadCh  []bool
 	trips   []*faultTrip
 	scratch []*packet.Packet
+
+	// tele and ptrace are the flag-gated observability layer (see
+	// telemetry.go); both nil by default.
+	tele   *telemetry.Collector
+	ptrace *packetTrace
 
 	// pool aliases shard 0's — the single-shard engines (timestep, GC
 	// endpoint ops) use it directly after requireSingleShard.
@@ -521,6 +534,9 @@ func (m *Machine) Reset(seed uint64) {
 		n.resetVCQ(m.vcqFlits)
 	}
 	m.fenceAlloc = fence.Allocator{}
+	if m.tele != nil {
+		m.tele.Reset()
+	}
 	// Channels and credit counters are healthy again: re-apply static
 	// faults and re-arm the scheduled trips on the fresh kernels.
 	m.applyFaults()

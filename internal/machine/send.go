@@ -5,6 +5,7 @@ import (
 	"anton3/internal/packet"
 	"anton3/internal/route"
 	"anton3/internal/sim"
+	"anton3/internal/telemetry"
 	"anton3/internal/topo"
 )
 
@@ -67,6 +68,9 @@ func (m *Machine) Send(p *packet.Packet, done packet.Deliverer) {
 	p.Injected = sh.k.Now()
 	p.Walker = m
 	p.Done = done
+	if sh.tele != nil {
+		sh.tele.Ctr[telemetry.CtrInjected]++
+	}
 	if m.lineage {
 		// Extend, not reset: pooled packets arrive with an empty history
 		// (Pool.Put clears it), so an injected packet's chain starts here;
@@ -303,6 +307,10 @@ func (m *Machine) OnPacket(p *packet.Packet) {
 		m.apply(node, p)
 		if p.Done != nil {
 			p.Done.Deliver(p)
+		}
+		if sh := node.sh; sh.tele != nil {
+			sh.tele.Ctr[telemetry.CtrDelivered]++
+			sh.tele.Lat.Observe(int64(sh.k.Now() - p.Injected))
 		}
 		node.sh.pool.Put(p)
 

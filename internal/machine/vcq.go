@@ -7,6 +7,7 @@ import (
 	"anton3/internal/packet"
 	"anton3/internal/route"
 	"anton3/internal/sim"
+	"anton3/internal/telemetry"
 	"anton3/internal/topo"
 )
 
@@ -291,6 +292,10 @@ func (m *Machine) sendFlow(p *packet.Packet, n *Node, first topo.Step) {
 		slot := vcSlot(n.idx, idx, w)
 		p.OutVC = int8(w)
 		p.State = packet.WalkParked
+		p.ParkedAt = n.sh.k.Now()
+		if n.sh.tele != nil {
+			n.sh.tele.Ctr[telemetry.CtrParkEvents]++
+		}
 		v.pending[slot].push(p)
 		v.pendFlits[slot] += fl
 		return
@@ -307,6 +312,14 @@ func (m *Machine) sendFlow(p *packet.Packet, n *Node, first topo.Step) {
 // hop that differs from its plan falls back to per-hop decisions for the
 // rest of its walk.
 func (m *Machine) acceptHop(p *packet.Packet, out chip.ChannelSpec, w int) {
+	// Request-class VCs in [vcEscape, ResponseVC) are the Duato escape
+	// pair — telemetry counts entries onto them as the deadlock-avoidance
+	// pressure signal. Responses (VC 4) never trip the guard.
+	if w >= vcEscape && w < route.ResponseVC {
+		if sh := m.nodes[p.CurIdx].sh; sh.tele != nil || sh.trec != nil {
+			m.noteEscapeEntry(sh, p)
+		}
+	}
 	p.VC = int8(w)
 	if int8(out.Dim) != p.CurDim || int8(out.Dir) != p.CurDir {
 		// A direction change without a dimension change only happens on
@@ -374,6 +387,10 @@ func (m *Machine) advanceQueue(n *Node, in, vc int) {
 			q.Out = int8(idx)
 			q.OutVC = int8(w)
 			q.State = packet.WalkParked
+			q.ParkedAt = now
+			if n.sh.tele != nil {
+				n.sh.tele.Ctr[telemetry.CtrParkEvents]++
+			}
 			v.pending[slot].push(q)
 			v.pendFlits[slot] += fl
 			return
@@ -474,6 +491,9 @@ func (m *Machine) creditArrive(n *Node, spec, vc, fl int) {
 		v.pendFlits[slot] -= need
 		v.credits[slot] -= need
 		now := n.sh.k.Now()
+		if n.sh.tele != nil || n.sh.trec != nil {
+			m.noteUnpark(n, q, now, need)
+		}
 		if q.In < 0 {
 			// A parked injection: admit it and tell the source.
 			m.acceptHop(q, out, int(q.OutVC))

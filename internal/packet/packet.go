@@ -205,6 +205,12 @@ type Packet struct {
 	// accounting.
 	Injected sim.Time
 
+	// ParkedAt is when credit flow control last parked this packet (at
+	// injection or as a transit queue head), read at revival for
+	// park-duration telemetry. Zeroed with the rest of the struct when
+	// the packet returns to its pool.
+	ParkedAt sim.Time
+
 	// Walk state, owned by the Walker while the packet is in flight. Cur is
 	// the node the packet is at (or entering) and CurIdx its dense
 	// topo.Shape.Index — the machine keeps both in sync so the hot loop

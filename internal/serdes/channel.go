@@ -163,6 +163,11 @@ func (ch *Channel) Utilization(now sim.Time) float64 {
 // Carried reports delivered packet count.
 func (ch *Channel) Carried() uint64 { return ch.carried }
 
+// BusyTime reports total serialization time accumulated since the last
+// Reset — read post-run by the telemetry layer for per-channel busy
+// accounting and the saturation heatmap, so the hot path pays nothing.
+func (ch *Channel) BusyTime() sim.Time { return ch.busyTime }
+
 // Send compresses and serializes p, delivering the reconstructed packet to
 // deliver at the far end after serialization plus the fixed SERDES/wire
 // latency. Delivery order always matches send order — the in-order property

@@ -1,0 +1,91 @@
+package stats
+
+import "math/bits"
+
+// LogHist is a fixed-size log2-bucketed histogram of non-negative int64
+// samples. Bucket i holds samples whose bit length is i: bucket 0 is the
+// value 0, bucket i (i >= 1) covers [2^(i-1), 2^i). The layout is a flat
+// value type — no pointers, no maps — so shards can each own one, update
+// it allocation-free on the hot path, and merge by bucket-wise addition
+// in shard order with a byte-identical result at any shard count.
+type LogHist struct {
+	N       uint64     `json:"n"`
+	Sum     uint64     `json:"sum"`
+	Buckets [65]uint64 `json:"buckets"`
+}
+
+// Observe records one sample. Negative samples clamp to 0 — they can
+// only arise from a caller bug, and a histogram is the wrong place to
+// crash a simulation.
+func (h *LogHist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.N++
+	h.Sum += uint64(v)
+	h.Buckets[bits.Len64(uint64(v))]++
+}
+
+// Merge folds o into h bucket-wise. Merging is commutative and
+// associative, but callers merge in shard order anyway so derived
+// reports stay byte-identical trivially.
+func (h *LogHist) Merge(o *LogHist) {
+	h.N += o.N
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average observed sample (0 when empty).
+func (h *LogHist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Quantile returns an estimate of the q-th quantile (q in [0, 1]) by
+// walking the cumulative bucket counts and interpolating linearly inside
+// the containing bucket's value range. Exact for bucket boundaries,
+// within a factor of 2 inside a bucket — the resolution the log2 layout
+// buys. Returns 0 for an empty histogram.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample, 1-based; q=0 maps to the first sample.
+	target := q * float64(h.N)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= target {
+			lo, hi := bucketRange(i)
+			frac := (target - cum) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	// Unreachable when N matches the bucket totals; be safe anyway.
+	_, hi := bucketRange(64)
+	return hi
+}
+
+// bucketRange returns the [lo, hi) value range of bucket i as floats.
+func bucketRange(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1)<<(i-1)) * 2
+}

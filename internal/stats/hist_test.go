@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogHistEmpty(t *testing.T) {
+	var h LogHist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("empty Mean = %v, want 0", got)
+	}
+}
+
+func TestLogHistBucketing(t *testing.T) {
+	var h LogHist
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1 << 40} {
+		h.Observe(v)
+	}
+	// Bucket 0 is the value 0, bucket i covers [2^(i-1), 2^i): so 1→b1,
+	// {2,3}→b2, {4,7}→b3, 8→b4, 1<<40→b41.
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 41: 1}
+	for i, n := range h.Buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	if h.N != 8 {
+		t.Fatalf("N = %d, want 8", h.N)
+	}
+}
+
+func TestLogHistNegativeClamps(t *testing.T) {
+	var h LogHist
+	h.Observe(-5)
+	if h.Buckets[0] != 1 || h.Sum != 0 {
+		t.Fatalf("negative sample not clamped to 0: buckets[0]=%d sum=%d", h.Buckets[0], h.Sum)
+	}
+}
+
+func TestLogHistQuantileExactBoundaries(t *testing.T) {
+	var h LogHist
+	// 100 samples all equal to 16: every quantile lands inside bucket 5
+	// ([16, 32)) and interpolates within it.
+	for i := 0; i < 100; i++ {
+		h.Observe(16)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 16 || got > 32 {
+			t.Fatalf("Quantile(%v) = %v, want within [16,32]", q, got)
+		}
+	}
+}
+
+func TestLogHistQuantileMonotone(t *testing.T) {
+	var h LogHist
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		h.Observe(rng.Int63n(1 << 30))
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: q=%v got %v < prev %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// Quantile estimates must bracket the true order statistic within one
+// log2 bucket (factor of 2), the histogram's designed resolution.
+func TestLogHistQuantileWithinBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h LogHist
+	samples := make([]int64, 5000)
+	for i := range samples {
+		samples[i] = rng.Int63n(1 << 20)
+		h.Observe(samples[i])
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		idx := int(q*float64(len(samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		truth := float64(samples[idx])
+		got := h.Quantile(q)
+		if truth > 0 && (got < truth/2 || got > truth*2) {
+			t.Fatalf("Quantile(%v) = %v, true order stat %v: outside one bucket", q, got, truth)
+		}
+	}
+}
+
+// Merging split histograms in any order must be byte-identical to
+// observing everything in one histogram — the property the sharded
+// telemetry merge depends on.
+func TestLogHistMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var whole LogHist
+	parts := make([]LogHist, 4)
+	for i := 0; i < 4000; i++ {
+		v := rng.Int63n(1 << 35)
+		whole.Observe(v)
+		parts[i%4].Observe(v)
+	}
+	var fwd, rev LogHist
+	for i := range parts {
+		fwd.Merge(&parts[i])
+	}
+	for i := len(parts) - 1; i >= 0; i-- {
+		rev.Merge(&parts[i])
+	}
+	if fwd != whole || rev != whole {
+		t.Fatal("merged histograms differ from whole-stream histogram")
+	}
+}

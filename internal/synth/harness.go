@@ -10,7 +10,9 @@ import (
 	"anton3/internal/route"
 	"anton3/internal/serdes"
 	"anton3/internal/sim"
+	"anton3/internal/telemetry"
 	"anton3/internal/topo"
+	"anton3/internal/trace"
 )
 
 // RefPacketBits is the wire size of the standard 24-byte counted-write
@@ -86,6 +88,10 @@ type Harness struct {
 	lats  [][]float64
 	hops  []int64
 	all   []float64 // merged latencies, reused across points
+
+	// telAgg accumulates telemetry across every point run since the
+	// harness was built (zero unless EnableMetrics armed the machine).
+	telAgg telemetry.Shard
 }
 
 // NewHarness builds the measurement machine: compression off (network-only
@@ -113,6 +119,22 @@ func NewHarness(shape topo.Shape, policy route.Policy, shards int) *Harness {
 	}
 	return h
 }
+
+// EnableMetrics arms the telemetry collector on the harness machine
+// (internal/telemetry): sharded counters and latency/park histograms,
+// accumulated into Telemetry() across every subsequent RunPoint.
+func (h *Harness) EnableMetrics() { h.m.EnableTelemetry() }
+
+// AttachTrace arms packet-lifecycle tracing with the given track prefix;
+// intervals accumulate until DrainTrace.
+func (h *Harness) AttachTrace(prefix string) { h.m.AttachPacketTrace(prefix) }
+
+// DrainTrace moves every recorded trace interval into dst.
+func (h *Harness) DrainTrace(dst *trace.Recorder) { h.m.DrainPacketTrace(dst) }
+
+// Telemetry returns the telemetry accumulated across every RunPoint since
+// the harness was built (all zeros unless EnableMetrics was called).
+func (h *Harness) Telemetry() *telemetry.Shard { return &h.telAgg }
 
 // injector fires one scheduled injection: a setup-scheduled sim.Actor, so
 // the steady-state schedule carries no closures and the injection events
@@ -219,6 +241,11 @@ func (h *Harness) RunPoint(pat Pattern, load float64, packets, warmup int, seed 
 	h.m.BeginLineageRun()
 	drainEnd := h.m.Run()
 
+	if c := h.m.Telemetry(); c != nil {
+		h.m.CollectChannelBusy()
+		h.telAgg.Merge(c.Merged())
+	}
+
 	h.all = h.all[:0]
 	var hopSum int64
 	for s := range h.lats {
@@ -255,6 +282,18 @@ func Run(cfg RunConfig) Point {
 type Curve struct {
 	Policy string  `json:"policy"`
 	Points []Point `json:"points"`
+	// Tel aggregates telemetry across every load point of this policy
+	// (nil unless the sweep ran with Opts.Metrics).
+	Tel *telemetry.Summary `json:"telemetry,omitempty"`
+}
+
+// Opts gates the observability layer onto a sweep: Metrics arms the
+// sharded telemetry collector (curves gain a Tel summary), Trace drains
+// packet-lifecycle tracks — prefixed with the policy name — into the
+// given recorder. Both default off, leaving output byte-identical.
+type Opts struct {
+	Metrics bool
+	Trace   *trace.Recorder
 }
 
 // SweepPattern measures one pattern across every policy and offered load
@@ -264,15 +303,33 @@ type Curve struct {
 // changing a digit; cells of one policy share one machine (reset between
 // loads), which keeps the sweep's steady state allocation-free.
 func SweepPattern(shape topo.Shape, policies []route.Policy, pat Pattern, loads []float64, packets, warmup int, seed uint64, shards int) []Curve {
+	return SweepPatternOpts(shape, policies, pat, loads, packets, warmup, seed, shards, Opts{})
+}
+
+// SweepPatternOpts is SweepPattern with the observability layer gates.
+func SweepPatternOpts(shape topo.Shape, policies []route.Policy, pat Pattern, loads []float64, packets, warmup int, seed uint64, shards int, opts Opts) []Curve {
 	curves := make([]Curve, len(policies))
 	for pi, pol := range policies {
 		c := Curve{Policy: pol.Name()}
 		h := NewHarness(shape, pol, shards)
+		if opts.Metrics {
+			h.EnableMetrics()
+		}
+		if opts.Trace != nil {
+			h.AttachTrace(pol.Name())
+		}
 		for li, load := range loads {
 			c.Points = append(c.Points, h.RunPoint(
 				pat, load, packets, warmup,
 				seed+uint64(pi)*1009+uint64(li)*9176,
 			))
+		}
+		if opts.Metrics {
+			sum := h.Telemetry().Summary()
+			c.Tel = &sum
+		}
+		if opts.Trace != nil {
+			h.DrainTrace(opts.Trace)
 		}
 		curves[pi] = c
 	}
@@ -289,11 +346,16 @@ type SweepResult struct {
 
 // Sweep runs SweepPattern and packages the result for reports.
 func Sweep(shape topo.Shape, policies []route.Policy, pat Pattern, loads []float64, packets, warmup int, seed uint64, shards int) SweepResult {
+	return SweepOpts(shape, policies, pat, loads, packets, warmup, seed, shards, Opts{})
+}
+
+// SweepOpts is Sweep with the observability layer gates.
+func SweepOpts(shape topo.Shape, policies []route.Policy, pat Pattern, loads []float64, packets, warmup int, seed uint64, shards int, opts Opts) SweepResult {
 	return SweepResult{
 		Shape:   shape.String(),
 		Nodes:   shape.Nodes(),
 		Pattern: pat.Name,
-		Curves:  SweepPattern(shape, policies, pat, loads, packets, warmup, seed, shards),
+		Curves:  SweepPatternOpts(shape, policies, pat, loads, packets, warmup, seed, shards, opts),
 	}
 }
 
@@ -316,6 +378,13 @@ func (r SweepResult) Render() string {
 		for _, c := range r.Curves {
 			fmt.Fprintf(&b, " %12.1f %9.1f", c.Points[i].AvgNs, c.Points[i].P99Ns)
 		}
+		b.WriteByte('\n')
+	}
+	for _, c := range r.Curves {
+		if c.Tel == nil {
+			continue
+		}
+		b.WriteString(c.Tel.Line(c.Policy))
 		b.WriteByte('\n')
 	}
 	return b.String()

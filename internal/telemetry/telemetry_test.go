@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"anton3/internal/trace"
+)
+
+// Splitting the same event stream across different shard counts must
+// merge to the identical Shard value (Shard is comparable).
+func TestCollectorMergeShardInvariant(t *testing.T) {
+	events := make([]int64, 500)
+	for i := range events {
+		events[i] = int64(i*i*7919) % (1 << 20)
+	}
+	run := func(shards int) Shard {
+		c := NewCollector(shards)
+		for i, v := range events {
+			sh := c.Shard(i % shards)
+			sh.Ctr[CtrInjected]++
+			sh.Ctr[CtrParkFlitPs] += v
+			sh.Lat.Observe(v)
+			sh.Park.Observe(v / 3)
+		}
+		return *c.Merged()
+	}
+	ref := run(1)
+	for _, n := range []int{2, 4} {
+		if got := run(n); got != ref {
+			t.Fatalf("merged shard differs at %d shards", n)
+		}
+	}
+}
+
+func TestCollectorResetAndReuse(t *testing.T) {
+	c := NewCollector(2)
+	c.Shard(0).Ctr[CtrDelivered] = 5
+	c.Shard(1).Ctr[CtrDelivered] = 7
+	if got := c.Merged().Ctr[CtrDelivered]; got != 12 {
+		t.Fatalf("merged delivered = %d, want 12", got)
+	}
+	// Merged must recompute, not accumulate, on repeated calls.
+	if got := c.Merged().Ctr[CtrDelivered]; got != 12 {
+		t.Fatalf("second Merged = %d, want 12", got)
+	}
+	c.Reset()
+	if got := *c.Merged(); got != (Shard{}) {
+		t.Fatal("Reset did not zero the collector")
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	var s Shard
+	s.Ctr[CtrInjected] = 10
+	s.Ctr[CtrDelivered] = 10
+	s.Lat.Observe(400_000) // 400ns in ps
+	line := s.Summary().Line("credit-echo")
+	if !strings.HasPrefix(line, "telemetry credit-echo: ") {
+		t.Fatalf("line = %q, want telemetry prefix", line)
+	}
+	if strings.Contains(line, "\n") {
+		t.Fatalf("line contains newline: %q", line)
+	}
+}
+
+func TestTraceExportValidAndDeterministic(t *testing.T) {
+	mk := func(order []string) []byte {
+		sink := &TraceSink{}
+		for _, name := range order {
+			rec := trace.NewRecorder()
+			rec.Touch(name + "/n000/park")
+			rec.Add(name+"/n000/x+.s0", 2_000_000, 5_000_000)
+			rec.Add(name+"/n000/x+.s0", 1_000_000, 2_000_000)
+			rec.Add(name+"/n000/park", 0, 1_000_000)
+			sink.Add(name, rec)
+		}
+		var buf bytes.Buffer
+		if err := sink.Export(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := mk([]string{"cellA", "cellB"})
+	b := mk([]string{"cellB", "cellA"}) // registration order must not matter
+	if !bytes.Equal(a, b) {
+		t.Fatal("trace export depends on cell registration order")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var slices, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+			if ev["dur"].(float64) <= 0 {
+				t.Fatalf("non-positive slice duration: %v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected event phase: %v", ev)
+		}
+	}
+	// 2 cells x (1 process_name + 2 thread_name) metadata, 2x3 slices.
+	if meta != 6 || slices != 6 {
+		t.Fatalf("meta=%d slices=%d, want 6 and 6", meta, slices)
+	}
+}

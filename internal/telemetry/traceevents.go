@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"anton3/internal/trace"
+)
+
+// TraceCell pairs one experiment cell's name with its packet-lifecycle
+// recorder. Cells become Chrome trace "processes"; recorder tracks
+// become threads.
+type TraceCell struct {
+	Name string
+	Rec  *trace.Recorder
+}
+
+// TraceSink collects per-cell recorders from concurrently-running
+// runner jobs. Export sorts by cell name, so the emitted JSON is
+// deterministic at any -jobs count regardless of completion order.
+type TraceSink struct {
+	mu    sync.Mutex
+	cells []TraceCell
+}
+
+// Add registers one finished cell's recorder.
+func (s *TraceSink) Add(name string, rec *trace.Recorder) {
+	s.mu.Lock()
+	s.cells = append(s.cells, TraceCell{Name: name, Rec: rec})
+	s.mu.Unlock()
+}
+
+// Cells returns the registered cells sorted by name.
+func (s *TraceSink) Cells() []TraceCell {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]TraceCell(nil), s.cells...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Export writes every registered cell as one Chrome trace-event JSON
+// document ({"traceEvents": [...]}), loadable in Perfetto or
+// chrome://tracing. One process per cell, one thread per recorder
+// track, one complete ("X") slice per interval; timestamps convert from
+// simulated picoseconds to the format's microseconds.
+func (s *TraceSink) Export(w io.Writer) error {
+	return writeTraceEvents(w, s.Cells())
+}
+
+// traceEvent is one entry of the Chrome trace-event format's JSON array
+// form. Ph "M" entries are metadata (process/thread names); ph "X" are
+// complete slices with a duration.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+const psPerMicro = 1e6
+
+func writeTraceEvents(w io.Writer, cells []TraceCell) error {
+	var events []traceEvent
+	for pid, cell := range cells {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": cell.Name},
+		})
+		for tid, track := range cell.Rec.Tracks() {
+			events = append(events, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]string{"name": track},
+			})
+			slice := sliceName(track)
+			for _, iv := range cell.Rec.Intervals(track) {
+				events = append(events, traceEvent{
+					Name: slice, Ph: "X", Pid: pid, Tid: tid,
+					Ts:  float64(iv.Start) / psPerMicro,
+					Dur: float64(iv.End-iv.Start) / psPerMicro,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{events})
+}
+
+// sliceName labels slices by the phase suffix of their track name
+// ("xyz/n003/x+.s0" → "x+.s0", "xyz/n003/park" → "park"), keeping the
+// full location in the thread name where Perfetto shows it anyway.
+func sliceName(track string) string {
+	if i := strings.LastIndexByte(track, '/'); i >= 0 {
+		return track[i+1:]
+	}
+	return track
+}

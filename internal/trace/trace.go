@@ -55,7 +55,8 @@ func (r *Recorder) Touch(track string) {
 // for per-shard recorders, run after the shard kernels have drained.
 // Interval order within a track depends on the merge order, which no
 // consumer observes: Utilization, Span and Render are order-independent
-// sums and extrema.
+// sums and extrema, and Intervals/Occupancy sort into canonical order
+// before exposing anything.
 func (r *Recorder) DrainInto(dst *Recorder) {
 	for _, t := range r.order {
 		ivs := r.tracks[t]
@@ -72,6 +73,67 @@ func (r *Recorder) DrainInto(dst *Recorder) {
 
 // Tracks lists track names in first-use order.
 func (r *Recorder) Tracks() []string { return append([]string(nil), r.order...) }
+
+// Interval is one busy span of a track, exposed in canonical order by
+// Intervals.
+type Interval struct {
+	Start, End sim.Time
+}
+
+// Intervals returns a copy of track's intervals in canonical order:
+// sorted by (Start, End), duplicates preserved, no coalescing. The raw
+// in-memory order depends on Add and DrainInto merge order (per-shard
+// recorders drain in shard order, but intervals interleave by shard, not
+// by time); sorting makes the view deterministic for any consumer that
+// iterates — notably the trace-event exporter. Identical intervals are
+// interchangeable, so ties need no further key. Returns nil for unknown
+// or empty tracks.
+func (r *Recorder) Intervals(track string) []Interval {
+	ivs := r.tracks[track]
+	if len(ivs) == 0 {
+		return nil
+	}
+	out := make([]Interval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = Interval{iv.start, iv.end}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	return out
+}
+
+// Occupancy returns the fraction of [from, to) covered by at least one
+// interval of track — union semantics, always within [0, 1]. This is
+// the complement to Utilization, which sums raw intervals and can
+// exceed 1 on tracks that aggregate many components (the Figure 12
+// channel-class columns): Occupancy answers "was anything happening",
+// Utilization answers "how much total work".
+func (r *Recorder) Occupancy(track string, from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	ivs := r.Intervals(track)
+	var busy sim.Time
+	covered := from // union coverage high-water mark
+	for _, iv := range ivs {
+		s, e := iv.Start, iv.End
+		if s < covered {
+			s = covered
+		}
+		if e > to {
+			e = to
+		}
+		if e > s {
+			busy += e - s
+			covered = e
+		}
+	}
+	return float64(busy) / float64(to-from)
+}
 
 // Utilization returns the busy fraction of track within [from, to).
 func (r *Recorder) Utilization(track string, from, to sim.Time) float64 {

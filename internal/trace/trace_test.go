@@ -75,6 +75,123 @@ func TestSummary(t *testing.T) {
 	}
 }
 
+func TestIntervalsEmptyTrack(t *testing.T) {
+	r := NewRecorder()
+	if ivs := r.Intervals("nope"); ivs != nil {
+		t.Fatalf("unknown track intervals = %v, want nil", ivs)
+	}
+	r.Touch("pinned")
+	if ivs := r.Intervals("pinned"); ivs != nil {
+		t.Fatalf("touched-but-empty track intervals = %v, want nil", ivs)
+	}
+	if occ := r.Occupancy("pinned", 0, 100); occ != 0 {
+		t.Fatalf("empty track occupancy = %v, want 0", occ)
+	}
+}
+
+func TestIntervalsZeroLengthDropped(t *testing.T) {
+	r := NewRecorder()
+	r.Add("t", 5, 5)
+	r.Add("t", 10, 20)
+	r.Add("t", 7, 7)
+	ivs := r.Intervals("t")
+	if len(ivs) != 1 || ivs[0] != (Interval{10, 20}) {
+		t.Fatalf("intervals = %v, want [{10 20}]", ivs)
+	}
+}
+
+// Out-of-order and overlapping Adds must yield the same canonical view
+// as ordered Adds.
+func TestIntervalsCanonicalOrder(t *testing.T) {
+	a := NewRecorder()
+	a.Add("t", 30, 40)
+	a.Add("t", 0, 10)
+	a.Add("t", 5, 25) // overlaps the first
+	a.Add("t", 0, 8)  // same start, shorter
+
+	b := NewRecorder()
+	b.Add("t", 0, 8)
+	b.Add("t", 0, 10)
+	b.Add("t", 5, 25)
+	b.Add("t", 30, 40)
+
+	ai, bi := a.Intervals("t"), b.Intervals("t")
+	if len(ai) != 4 {
+		t.Fatalf("intervals = %v, want 4 entries", ai)
+	}
+	for i := range ai {
+		if ai[i] != bi[i] {
+			t.Fatalf("canonical order differs: %v vs %v", ai, bi)
+		}
+	}
+	want := []Interval{{0, 8}, {0, 10}, {5, 25}, {30, 40}}
+	for i := range want {
+		if ai[i] != want[i] {
+			t.Fatalf("intervals = %v, want %v", ai, want)
+		}
+	}
+}
+
+// Merging per-shard recorders in different chunkings must produce the
+// same canonical interval view — the determinism property the packet
+// trace export relies on.
+func TestIntervalsMergeDeterminism(t *testing.T) {
+	all := []Interval{{0, 10}, {2, 6}, {5, 25}, {30, 40}, {30, 40}, {38, 39}}
+
+	build := func(chunks [][]Interval) *Recorder {
+		dst := NewRecorder()
+		dst.Touch("t")
+		for _, ch := range chunks {
+			shard := NewRecorder()
+			for _, iv := range ch {
+				shard.Add("t", iv.Start, iv.End)
+			}
+			shard.DrainInto(dst)
+		}
+		return dst
+	}
+
+	r1 := build([][]Interval{all})
+	r2 := build([][]Interval{all[3:], all[:3]})
+	r3 := build([][]Interval{{all[5]}, {all[1], all[3]}, {all[0], all[2], all[4]}})
+
+	i1 := r1.Intervals("t")
+	for _, r := range []*Recorder{r2, r3} {
+		iv := r.Intervals("t")
+		if len(iv) != len(i1) {
+			t.Fatalf("interval counts differ: %v vs %v", i1, iv)
+		}
+		for i := range i1 {
+			if iv[i] != i1[i] {
+				t.Fatalf("merge-order dependent intervals: %v vs %v", i1, iv)
+			}
+		}
+	}
+}
+
+func TestOccupancyUnion(t *testing.T) {
+	r := NewRecorder()
+	// [0,10) and [5,15) overlap: union covers [0,15) of a [0,20) window.
+	r.Add("t", 5, 15)
+	r.Add("t", 0, 10)
+	if got := r.Occupancy("t", 0, 20); got != 0.75 {
+		t.Fatalf("occupancy = %v, want 0.75", got)
+	}
+	// Utilization keeps sum semantics: 20/20 = 1.0 here.
+	if got := r.Utilization("t", 0, 20); got != 1.0 {
+		t.Fatalf("utilization = %v, want 1.0", got)
+	}
+	// An interval nested inside an already-covered region adds nothing.
+	r.Add("t", 2, 4)
+	if got := r.Occupancy("t", 0, 20); got != 0.75 {
+		t.Fatalf("occupancy after nested add = %v, want 0.75", got)
+	}
+	// Occupancy never exceeds 1 even when the sum does.
+	if got := r.Occupancy("t", 0, 10); got != 1.0 {
+		t.Fatalf("occupancy = %v, want 1.0", got)
+	}
+}
+
 func TestShadeMonotone(t *testing.T) {
 	prev := byte(' ')
 	order := " .:+*#"
